@@ -1,0 +1,53 @@
+"""Fig. 5 — the seven numerical applications, every execution mode.
+
+Each (app, series) pair is one benchmark; pytest-benchmark's comparison
+table reproduces the figure's per-app mode ordering (Pure slowest,
+CompiledDT fastest, PyOMP ≈ CompiledDT where supported).  Thread
+scaling — the figure's x axis — is the report harness's job
+(``python -m repro.analysis.report fig5``), since wall-clock scaling
+needs the no-GIL projection.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.modes import ALL_MODES
+from repro.pyomp import PyOMPCompileError, PyOMPInternalError
+
+from conftest import BENCH_THREADS
+
+FIG5_APPS = ("fft", "jacobi", "lu", "md", "pi", "qsort", "bfs")
+PROFILE = "test"
+
+
+@pytest.mark.parametrize("mode", ALL_MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("app", FIG5_APPS)
+def test_fig5_omp4py(benchmark, app, mode):
+    spec = get_app(app)
+    benchmark.group = f"fig5:{app}"
+    variant = spec.variant(mode)
+    dt = mode.value == "compileddt"
+
+    def setup():
+        inputs = spec.inputs(PROFILE, dt=dt)
+        inputs["threads"] = BENCH_THREADS
+        return (), inputs
+
+    benchmark.pedantic(variant, setup=setup, rounds=3)
+
+
+@pytest.mark.parametrize("app", FIG5_APPS)
+def test_fig5_pyomp_baseline(benchmark, app):
+    spec = get_app(app)
+    benchmark.group = f"fig5:{app}"
+    try:
+        variant = spec.pyomp_variant()
+    except (PyOMPCompileError, PyOMPInternalError) as error:
+        pytest.skip(f"PyOMP cannot run {app}: {error}")
+
+    def setup():
+        inputs = spec.inputs(PROFILE, dt=True)
+        inputs["threads"] = BENCH_THREADS
+        return (), inputs
+
+    benchmark.pedantic(variant, setup=setup, rounds=3)

@@ -1,0 +1,38 @@
+"""Fig. 6 — clustering coefficient and wordcount across OMP4Py modes.
+
+The expected shape (paper Section IV-B): all four modes close together
+— native compilation cannot reach inside NetworkX or reshape str/dict
+operations — and PyOMP cannot run either app at all (asserted here).
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.modes import ALL_MODES
+from repro.pyomp import PyOMPCompileError
+
+from conftest import BENCH_THREADS
+
+PROFILE = "test"
+
+
+@pytest.mark.parametrize("mode", ALL_MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("app", ("clustering", "wordcount"))
+def test_fig6_omp4py(benchmark, app, mode):
+    spec = get_app(app)
+    benchmark.group = f"fig6:{app}"
+    variant = spec.variant(mode)
+
+    def setup():
+        inputs = spec.inputs(PROFILE)
+        inputs["threads"] = BENCH_THREADS
+        return (), inputs
+
+    benchmark.pedantic(variant, setup=setup, rounds=3)
+
+
+@pytest.mark.parametrize("app", ("clustering", "wordcount"))
+def test_fig6_pyomp_cannot_run(app):
+    spec = get_app(app)
+    with pytest.raises(PyOMPCompileError):
+        spec.pyomp_variant()

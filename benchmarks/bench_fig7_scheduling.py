@@ -1,0 +1,55 @@
+"""Fig. 7 — scheduling policies on the two non-numerical apps.
+
+The kernels are written with ``schedule(runtime)``; the benchmark sets
+the policy through the schedule ICV, exactly how the figure's series
+differ.  Chunk-size sensitivity (the paper's 150/300/600 discussion) is
+the second parameter axis.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.cruntime import cruntime
+from repro.modes import Mode
+
+from conftest import BENCH_THREADS
+
+PROFILE = "test"
+
+
+@pytest.mark.parametrize("policy", ("static", "dynamic", "guided"))
+@pytest.mark.parametrize("app", ("clustering", "wordcount"))
+def test_fig7_policies(benchmark, app, policy):
+    spec = get_app(app)
+    benchmark.group = f"fig7:{app}"
+    variant = spec.variant(Mode.HYBRID)
+
+    def setup():
+        cruntime.set_schedule(policy, 16)
+        inputs = spec.inputs(PROFILE)
+        inputs["threads"] = BENCH_THREADS
+        return (), inputs
+
+    try:
+        benchmark.pedantic(variant, setup=setup, rounds=3)
+    finally:
+        cruntime.set_schedule("static")
+
+
+@pytest.mark.parametrize("chunk", (8, 16, 32))
+def test_fig7_chunk_sizes(benchmark, chunk):
+    """The paper's halved/doubled chunk-size variation (wordcount)."""
+    spec = get_app("wordcount")
+    benchmark.group = "fig7:wordcount-chunks"
+    variant = spec.variant(Mode.HYBRID)
+
+    def setup():
+        cruntime.set_schedule("dynamic", chunk)
+        inputs = spec.inputs(PROFILE)
+        inputs["threads"] = BENCH_THREADS
+        return (), inputs
+
+    try:
+        benchmark.pedantic(variant, setup=setup, rounds=3)
+    finally:
+        cruntime.set_schedule("static")

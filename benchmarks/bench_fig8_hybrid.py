@@ -1,0 +1,28 @@
+"""Fig. 8 — hybrid MPI/OpenMP Jacobi over increasing node counts.
+
+Wall time on a single machine cannot shrink with more in-process ranks;
+the figure's scaling lives in the projected times printed by
+``python -m repro.analysis.report fig8``.  This benchmark pins the
+per-node cost shape: total work is constant, so wall time should stay
+roughly flat as ranks increase while each rank's slice shrinks.
+"""
+
+import pytest
+
+from repro.apps import jacobi_mpi
+from repro.modes import Mode
+
+
+@pytest.mark.parametrize("nodes", (1, 2, 4))
+@pytest.mark.parametrize("mode", (Mode.HYBRID, Mode.COMPILED_DT),
+                         ids=lambda m: m.value)
+def test_fig8_nodes(benchmark, nodes, mode):
+    benchmark.group = f"fig8:{mode.value}"
+    sizes = jacobi_mpi.SIZES["test"]
+
+    def run():
+        return jacobi_mpi.solve(nodes=nodes, threads=2, mode=mode,
+                                **sizes)
+
+    result = benchmark.pedantic(run, rounds=2)
+    assert jacobi_mpi.verify(result, sizes["n"])

@@ -1,0 +1,16 @@
+"""Table I — static characteristics (regeneration benchmark).
+
+The table itself is static analysis; this benchmark times the extractor
+over the seven numerical kernels and checks the rows match the paper.
+"""
+
+from repro.analysis.features import table1_rows
+
+
+def test_table1_extraction(benchmark):
+    rows = benchmark(table1_rows)
+    by_name = {row.name: row for row in rows}
+    assert by_name["pi"].features == "parallel for reduction(+)"
+    assert by_name["jacobi"].synchronization == "Explicit barrier"
+    assert "task with if clause" in by_name["qsort"].features
+    assert "multiple for loops" in by_name["lu"].features

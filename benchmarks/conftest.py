@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Benchmarks run at the compact ``test``/``default`` problem profiles so
+``pytest benchmarks/ --benchmark-only`` finishes in minutes; the
+paper-scale sweeps live in ``benchmarks/reproduce.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Thread count used by benchmark kernels (the shapes of interest are
+#: mode-to-mode ratios; thread scaling lives in the report harness).
+BENCH_THREADS = 4
+
+
+@pytest.fixture
+def bench_threads() -> int:
+    return BENCH_THREADS

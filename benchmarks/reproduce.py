@@ -1,0 +1,96 @@
+"""Full evaluation driver: regenerate every table and figure.
+
+Runs the report harness for Table I and Figs. 5-8 plus the headline
+summary, writing each into ``results/``.  Problem sizes and thread
+counts default to laptop-scale values; ``--profile paper --threads
+1,2,4,8,16,32`` reproduces the paper's configuration (expect many
+hours, as the paper's artifact appendix also warns).
+
+Usage::
+
+    python benchmarks/reproduce.py [--profile default] \
+        [--threads 1,2,4] [--nodes 1,2,4,8] [--repeats 3] [--out results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.analysis import report  # noqa: E402
+
+
+def run_command(out_dir: pathlib.Path, name: str, argv: list[str]) -> None:
+    print(f"[reproduce] {name}: report {' '.join(argv)}")
+    begin = time.perf_counter()
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        report.main(argv)
+    elapsed = time.perf_counter() - begin
+    text = buffer.getvalue()
+    (out_dir / f"{name}.txt").write_text(text, encoding="utf-8")
+    print(text)
+    print(f"[reproduce] {name} done in {elapsed:.1f}s -> "
+          f"{out_dir / f'{name}.txt'}\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="default",
+                        choices=("test", "default", "paper"))
+    parser.add_argument("--threads", default="1,2,4")
+    parser.add_argument("--nodes", default="1,2,4,8")
+    parser.add_argument("--repeats", default="1")
+    parser.add_argument("--out", default="results")
+    parser.add_argument("--apps", default=None,
+                        help="restrict fig5 to a comma-separated app "
+                             "subset (smoke runs)")
+    parser.add_argument("--skip-check", action="store_true",
+                        help="skip the shape-claim verdicts (their "
+                             "bands assume the default profile)")
+    args = parser.parse_args()
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    common = ["--profile", args.profile, "--threads", args.threads,
+              "--repeats", args.repeats]
+
+    # The paper's chunk of 300 assumes its 300k-node / 2M-line inputs;
+    # scale it with the profile so the chunk:iteration ratio matches.
+    chunk = {"test": "4", "default": "8", "paper": "300"}[args.profile]
+
+    run_command(out_dir, "table1", ["table1"])
+    fig5_args = ["fig5", *common]
+    if args.apps:
+        fig5_args += ["--apps", args.apps]
+    run_command(out_dir, "fig5", fig5_args)
+    run_command(out_dir, "fig6", ["fig6", *common])
+    run_command(out_dir, "fig7", ["fig7", *common, "--chunk", chunk])
+    run_command(out_dir, "fig8", ["fig8", "--profile", args.profile,
+                                  "--nodes", args.nodes, "--threads",
+                                  args.threads.split(",")[-1],
+                                  "--repeats", args.repeats])
+    headline_args = ["headline", *common]
+    if args.apps:
+        headline_args += ["--apps", args.apps]
+    run_command(out_dir, "headline", headline_args)
+    if not args.skip_check:
+        try:
+            run_command(out_dir, "shapecheck",
+                        ["check", "--profile", args.profile,
+                         "--repeats", args.repeats])
+        except SystemExit:
+            print("[reproduce] WARNING: some shape claims failed "
+                  "(see shapecheck.txt)")
+    print(f"[reproduce] all outputs in {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

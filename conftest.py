@@ -1,0 +1,9 @@
+"""Repo-root pytest bootstrap: make ``src/`` importable when the
+package is not pip-installed (e.g. offline checkouts)."""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

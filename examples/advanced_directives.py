@@ -1,0 +1,120 @@
+"""Tour of the less-common OpenMP 3.0 constructs OMP4Py covers:
+sections, single with copyprivate, ordered loops, declare reduction,
+threadprivate with copyin, and the lock API.
+
+Run with::
+
+    python examples/advanced_directives.py
+"""
+
+from repro import (omp, omp_get_thread_num, omp_init_lock, omp_set_lock,
+                   omp_unset_lock)
+
+RNG_STATE = 12345  # threadprivate seed, one generator per thread
+
+
+@omp
+def pipeline_sections(items):
+    """Three independent pipeline stages via sections."""
+    parsed = []
+    validated = []
+    stats = {}
+    with omp("parallel num_threads(3)"):
+        with omp("sections"):
+            with omp("section"):
+                for item in items:
+                    parsed.append(item.strip().lower())
+            with omp("section"):
+                for item in items:
+                    validated.append(item.isalpha())
+            with omp("section"):
+                stats["total"] = len(items)
+    return parsed, validated, stats
+
+
+@omp
+def broadcast_with_copyprivate():
+    """One thread computes a configuration; copyprivate shares it."""
+    config = None
+    seen = []
+    with omp("parallel num_threads(4) private(config)"):
+        with omp("single copyprivate(config)"):
+            config = {"chunk": 64, "origin": omp_get_thread_num()}
+        with omp("critical"):
+            seen.append(config["chunk"])
+    return seen
+
+
+@omp
+def ordered_output(n):
+    """Dynamic scheduling with deterministic, ordered side effects."""
+    log = []
+    with omp("parallel for ordered schedule(dynamic, 1) num_threads(4)"):
+        for i in range(n):
+            squared = i * i  # computed out of order, in parallel
+            with omp("ordered"):
+                log.append(f"{i}^2 = {squared}")  # emitted in order
+    return log
+
+
+@omp
+def longest_word(words):
+    """A user-declared reduction: pick the longest string."""
+    omp("declare reduction(longer: omp_out if len(omp_out) >= "
+        "len(omp_in) else omp_in) initializer('')")
+    best = ""
+    with omp("parallel for reduction(longer: best) num_threads(4)"):
+        for i in range(len(words)):
+            if len(words[i]) > len(best):
+                best = words[i]
+    return best
+
+
+@omp
+def threadprivate_rng(samples):
+    """Each thread owns a threadprivate LCG seeded via copyin."""
+    omp("threadprivate(RNG_STATE)")
+    draws = []
+    with omp("parallel num_threads(3) copyin(RNG_STATE)"):
+        mine = []
+        for _ in range(samples):
+            RNG_STATE = (1103515245 * RNG_STATE + 12345) % (1 << 31)
+            mine.append(RNG_STATE % 100)
+        with omp("critical"):
+            draws.append(mine)
+    return draws
+
+
+@omp
+def _record_under_lock(n, lock, ledger):
+    # The decorator only accepts module-level functions (no closures),
+    # so the lock and ledger arrive as arguments.
+    with omp("parallel for num_threads(4)"):
+        for i in range(n):
+            omp_set_lock(lock)
+            ledger.append(i)
+            omp_unset_lock(lock)
+
+
+def locks_demo():
+    """The OpenMP lock API, usable outside directives too."""
+    lock = omp_init_lock()
+    ledger = []
+    _record_under_lock(100, lock, ledger)
+    return sorted(ledger) == list(range(100))
+
+
+def main() -> None:
+    parsed, validated, stats = pipeline_sections(
+        [" Alpha", "beta ", "Gamma3"])
+    print("sections:       ", parsed, validated, stats)
+    print("copyprivate:    ", broadcast_with_copyprivate())
+    print("ordered:        ", ordered_output(6)[:3], "...")
+    print("declare red.:   ",
+          longest_word(["ant", "gnu", "elephant", "ox"]))
+    print("threadprivate:  ", threadprivate_rng(3))
+    print("locks:          ", locks_demo())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Task parallelism: the paper's Fig. 4 — recursive Fibonacci.
+
+Each recursive call spawns two tasks; `taskwait` joins the direct
+children; the `if` clause stops task creation below a cutoff so task
+overhead does not swamp the computation (the same pattern the paper's
+qsort benchmark relies on).
+
+Run with::
+
+    python examples/fibonacci_tasks.py [n] [threads]
+"""
+
+import sys
+
+from repro import omp, omp_get_wtime
+
+
+@omp
+def fibonacci(n):
+    if n <= 1:
+        return n
+    fib1 = 0
+    fib2 = 0
+    with omp("task if(n > 12)"):
+        fib1 = fibonacci(n - 1)
+    with omp("task if(n > 12)"):
+        fib2 = fibonacci(n - 2)
+    omp("taskwait")
+    return fib1 + fib2
+
+
+@omp
+def run(n, threads):
+    result = 0
+    with omp("parallel num_threads(threads)"):
+        with omp("single"):
+            result = fibonacci(n)
+    return result
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    threads = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    begin = omp_get_wtime()
+    value = run(n, threads)
+    elapsed = omp_get_wtime() - begin
+    print(f"fibonacci({n}) = {value}  "
+          f"[{threads} threads, {elapsed:.3f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Hybrid MPI/OpenMP Jacobi solver (the paper's Section IV-C, Fig. 8).
+
+MPI ranks ("nodes") partition the matrix rows; inside each rank an
+OpenMP team updates the local block; `Allgatherv` rebuilds the solution
+vector and `Allreduce` evaluates the convergence criterion.
+
+Run with::
+
+    python examples/hybrid_mpi_jacobi.py [n] [threads-per-node]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.timing import measure_mpi
+from repro.apps import jacobi_mpi
+from repro.modes import Mode
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 192
+    threads = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    expected = jacobi_mpi.reference(n)
+    print(f"Jacobi on a {n}x{n} system, {threads} OpenMP threads per "
+          f"node (mode=hybrid)")
+    print(f"{'nodes':>6}{'wall [s]':>12}{'projected [s]':>15}   residual")
+    for nodes in (1, 2, 4):
+        measurement = measure_mpi(
+            jacobi_mpi.solve, nodes, nodes=nodes, threads=threads, n=n,
+            iterations=400, mode=Mode.HYBRID)
+        residual = float(np.max(np.abs(
+            np.asarray(measurement.value) - expected)))
+        print(f"{nodes:>6}{measurement.wall:>12.3f}"
+              f"{measurement.projected:>15.3f}   {residual:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Artifact-style benchmark driver, mirroring the paper's appendix::
+
+    python examples/main.py <mode> <test> <threads> [profile]
+
+* ``mode``: 0 Pure, 1 Hybrid, 2 Compiled, 3 CompiledDT, -1 PyOMP
+* ``test``: fft | jacobi | lu | md | pi | qsort | bfs (maze) |
+  wordcount | clustering (graphic) — plus ``jacobi-mpi <nodes>``
+* ``threads``: OpenMP team size
+* ``profile``: test | default | paper (problem size; default "default")
+
+Prints the benchmark result, the measured wall time, and the projected
+no-GIL time (see DESIGN.md for the projection).
+"""
+
+import sys
+
+from repro.analysis.runner import run_point, run_pyomp_point
+from repro.apps import get_app
+from repro.modes import Mode
+
+#: The paper's alternative benchmark spellings.
+ALIASES = {"maze": "bfs", "graphic": "clustering", "lud": "lu"}
+
+
+def main(argv) -> int:
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    mode_code = int(argv[0])
+    test = ALIASES.get(argv[1], argv[1])
+    threads = int(argv[2])
+    profile = argv[3] if len(argv) > 3 else "default"
+    overrides = {}
+    if test == "wordcount" and len(argv) > 4:
+        # The artifact appendix passes a corpus file as the final
+        # argument (e.g. the decompressed Wikipedia dump).
+        overrides["path"] = argv[4]
+
+    if test == "jacobi-mpi":
+        from repro.analysis.timing import measure_mpi
+        from repro.apps import jacobi_mpi
+        nodes = threads  # artifact uses mpirun -n; here: arg reuse
+        sizes = jacobi_mpi.SIZES[profile]
+        measurement = measure_mpi(
+            jacobi_mpi.solve, nodes, nodes=nodes, threads=16,
+            mode=Mode.parse(mode_code), **sizes)
+        print(f"jacobi-mpi nodes={nodes} wall={measurement.wall:.4f}s "
+              f"projected={measurement.projected:.4f}s")
+        return 0
+
+    spec = get_app(test)
+    reference = spec.sequential(**spec.inputs(profile, **overrides))
+    if mode_code == -1:
+        point = run_pyomp_point(spec, threads, profile,
+                                reference=reference, **overrides)
+        if point.error is not None:
+            print(f"PyOMP cannot run {test}: {point.error}")
+            return 1
+    else:
+        point = run_point(spec, Mode.parse(mode_code), threads, profile,
+                          reference=reference, **overrides)
+    status = "ok" if point.verified else "RESULT MISMATCH"
+    print(f"{test} ({point.series}, {threads} threads, {profile}): "
+          f"wall={point.wall:.4f}s projected={point.projected:.4f}s "
+          f"[{status}]")
+    print(f"  result: {render_result(test, point.measurement.value)}")
+    return 0 if point.verified else 1
+
+
+def render_result(test: str, value) -> str:
+    """One-line benchmark result (the artifact's 'Output: execution
+    time and benchmark result')."""
+    import numpy as np
+    if test == "pi":
+        return f"pi ~= {float(value):.12f}"
+    if test == "jacobi":
+        x = np.asarray(value, dtype=float)
+        return f"x[0..2] = {x[0]:.6f}, {x[1]:.6f}, {x[2]:.6f}"
+    if test == "lu":
+        factored = np.asarray(value, dtype=float)
+        return f"sum|LU| = {np.abs(factored).sum():.6e}"
+    if test == "md":
+        potential, kinetic = value
+        return (f"potential = {potential:.6f}, kinetic = {kinetic:.6f}, "
+                f"total = {potential + kinetic:.6f}")
+    if test == "fft":
+        spectrum = np.abs(np.asarray(value[0]) + 1j * np.asarray(value[1]))
+        return f"|X| checksum = {spectrum.sum():.6f}"
+    if test == "qsort":
+        data = value
+        return (f"sorted {len(data)} values, "
+                f"min = {data[0]:.6f}, max = {data[-1]:.6f}")
+    if test == "bfs":
+        reached, count = value
+        return f"exit reached = {reached}, reachable cells = {count}"
+    if test == "clustering":
+        coefficients = list(value)
+        mean = sum(coefficients) / max(1, len(coefficients))
+        return f"mean clustering coefficient = {mean:.6f}"
+    if test == "wordcount":
+        top_word = max(value, key=value.get)
+        return (f"{len(value)} distinct words; "
+                f"top: {top_word!r} x{value[top_word]}")
+    return repr(value)[:120]
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,57 @@
+"""Quickstart: the paper's Fig. 1 — parallel computation of pi.
+
+Run with::
+
+    python examples/quickstart.py [intervals]
+
+The function is written once; the `@omp` decorator processes its
+directives. The script then also builds every execution mode variant of
+the same source (Pure / Hybrid / Compiled / CompiledDT) and times them.
+"""
+
+import sys
+import time
+
+from repro import Mode, omp, transform
+
+
+@omp
+def pi(n):
+    w = 1.0 / n
+    pi_value = 0.0
+    with omp("parallel for reduction(+:pi_value)"):
+        for i in range(n):
+            local = (i + 0.5) * w
+            pi_value += 4.0 / (1.0 + local * local)
+    return pi_value * w
+
+
+def pi_typed(n, threads):
+    # The CompiledDT variant: explicit int/float annotations let the
+    # native pipeline lower the loop to a typed kernel.
+    w: float = 1.0 / n
+    pi_value: float = 0.0
+    with omp("parallel for reduction(+:pi_value) num_threads(threads) "
+             "schedule(static, 65536)"):
+        for i in range(n):
+            local = (i + 0.5) * w
+            pi_value += 4.0 / (1.0 + local * local)
+    return pi_value * w
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000_000
+    print(f"pi({n:,}) with the default (Hybrid) mode:")
+    print(f"  {pi(n)!r}")
+    print()
+    print(f"{'mode':<12}{'time [s]':>10}   result")
+    for mode in Mode:
+        variant = transform(pi_typed, mode)
+        begin = time.perf_counter()
+        value = variant(n, threads=4)
+        elapsed = time.perf_counter() - begin
+        print(f"{mode.value:<12}{elapsed:>10.4f}   {value!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Measurement and reporting harness for the paper's evaluation.
+
+* :mod:`repro.analysis.features` — static directive analysis (Table I),
+* :mod:`repro.analysis.timing` — wall time + no-GIL projection,
+* :mod:`repro.analysis.runner` — mode × threads sweeps,
+* :mod:`repro.analysis.report` — CLI printing paper-style tables
+  (``python -m repro.analysis.report <table1|fig5|fig6|fig7|fig8|headline>``).
+"""
+
+from repro.analysis.timing import Measurement, measure
+
+__all__ = ["Measurement", "measure"]

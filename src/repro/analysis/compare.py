@@ -1,0 +1,97 @@
+"""Compare two sweep JSON files (regression detection).
+
+``python -m repro.analysis.compare old.json new.json [--threshold 1.3]``
+reads two files produced by ``report fig5/fig6 --json`` and reports, per
+(app, series, threads) cell, the projected-time ratio new/old, flagging
+regressions beyond the threshold and verification status changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+
+
+@dataclasses.dataclass
+class CellDelta:
+    app: str
+    series: str
+    threads: int
+    old: float | None
+    new: float | None
+
+    @property
+    def ratio(self) -> float | None:
+        if self.old and self.new:
+            return self.new / self.old
+        return None
+
+
+def load_cells(path: str) -> dict[tuple, dict]:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    cells: dict[tuple, dict] = {}
+    for app, rows in payload.items():
+        for row in rows:
+            cells[app, row["series"], row["threads"]] = row
+    return cells
+
+
+def compare(old_path: str, new_path: str) -> list[CellDelta]:
+    old_cells = load_cells(old_path)
+    new_cells = load_cells(new_path)
+    deltas = []
+    for key in sorted(set(old_cells) | set(new_cells)):
+        app, series, threads = key
+        old_row = old_cells.get(key)
+        new_row = new_cells.get(key)
+        deltas.append(CellDelta(
+            app=app, series=series, threads=threads,
+            old=old_row.get("projected_s") if old_row else None,
+            new=new_row.get("projected_s") if new_row else None))
+    return deltas
+
+
+def render(deltas: list[CellDelta], threshold: float) -> tuple[str, int]:
+    lines = [f"{'app':<12}{'series':<12}{'thr':>4}{'old[s]':>11}"
+             f"{'new[s]':>11}{'ratio':>8}"]
+    regressions = 0
+    for delta in deltas:
+        ratio = delta.ratio
+        flag = ""
+        if ratio is None:
+            flag = "  (missing)"
+        elif ratio > threshold:
+            flag = "  << REGRESSION"
+            regressions += 1
+        elif ratio < 1 / threshold:
+            flag = "  improved"
+        old_text = f"{delta.old:.4f}" if delta.old else "-"
+        new_text = f"{delta.new:.4f}" if delta.new else "-"
+        ratio_text = f"{ratio:.2f}x" if ratio else "-"
+        lines.append(f"{delta.app:<12}{delta.series:<12}"
+                     f"{delta.threads:>4}{old_text:>11}{new_text:>11}"
+                     f"{ratio_text:>8}{flag}")
+    lines.append(f"\n{regressions} regression(s) beyond "
+                 f"{threshold:.2f}x")
+    return "\n".join(lines), regressions
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.compare", description=__doc__)
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=1.3,
+                        help="ratio above which a cell is a regression")
+    args = parser.parse_args(argv)
+    text, regressions = render(compare(args.old, args.new),
+                               args.threshold)
+    print(text)
+    if regressions:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Static characteristics of benchmark kernels (regenerates Table I).
+
+Walks a kernel's source AST, collects every directive, and summarizes
+the OpenMP features and synchronization style the way the paper's
+Table I does.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import inspect
+import textwrap
+
+from repro.directives import parse_directive
+from repro.directives.model import Directive
+from repro.transform.rewriter import extract_directive_call
+
+
+@dataclasses.dataclass
+class StaticFeatures:
+    """One benchmark's Table I row."""
+
+    name: str
+    directives: list[Directive]
+    features: str
+    synchronization: str
+
+
+def directives_of(func) -> list[Directive]:
+    """Every directive appearing in a function's source, in order."""
+    source = textwrap.dedent(inspect.getsource(func))
+    tree = ast.parse(source)
+    found: list[Directive] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            try:
+                text = extract_directive_call(node)
+            except Exception:  # noqa: BLE001 - non-directive omp() use
+                continue
+            if text is not None:
+                found.append(parse_directive(text))
+    return found
+
+
+def summarize(name: str, func) -> StaticFeatures:
+    directives = directives_of(func)
+    labels: list[str] = []
+    explicit_barrier = False
+    for directive in directives:
+        if directive.name == "barrier":
+            explicit_barrier = True
+            continue
+        if directive.name in ("section", "flush", "threadprivate",
+                              "declare reduction", "ordered"):
+            continue
+        label = directive.name
+        reduction = directive.clause("reduction")
+        if reduction is not None:
+            label += f" reduction({reduction.op})"
+        if directive.name == "task" and directive.has_clause("if"):
+            label += " with if clause"
+        if label not in labels:
+            labels.append(label)
+    # Paper-style phrasing: several worksharing loops become "multiple
+    # for loops"; a loop nested in a reducing parallel region becomes
+    # "parallel reduction(op) with inner for".
+    plain_fors = [d for d in directives if d.name == "for"
+                  and d.clause("reduction") is None]
+    for index, label in enumerate(labels):
+        if label.startswith("parallel reduction") and "for" in labels:
+            labels[index] = label + " with inner for"
+            labels.remove("for")
+            break
+    if "for" in labels and len(plain_fors) >= 2:
+        labels[labels.index("for")] = "multiple for loops"
+    synchronization = ("Explicit barrier" if explicit_barrier
+                       else "Implicit barriers")
+    return StaticFeatures(name=name, directives=directives,
+                          features=", ".join(labels),
+                          synchronization=synchronization)
+
+
+def table1_rows() -> list[StaticFeatures]:
+    """Rows of Table I, extracted from the seven numerical kernels."""
+    from repro.apps import get_app
+    rows = []
+    for name in ("fft", "jacobi", "lu", "md", "pi", "qsort", "bfs"):
+        spec = get_app(name)
+        rows.append(summarize(name, spec.kernel))
+    return rows

@@ -1,0 +1,321 @@
+"""Paper-style reports: one command per table/figure.
+
+Usage::
+
+    python -m repro.analysis.report table1
+    python -m repro.analysis.report fig5 [--apps pi,fft] [--threads 1,2,4]
+    python -m repro.analysis.report fig6
+    python -m repro.analysis.report fig7 [--chunk 300]
+    python -m repro.analysis.report fig8 [--nodes 1,2,4] [--threads 4]
+    python -m repro.analysis.report headline
+
+Each command prints the measured wall time and the projected no-GIL
+time (the quantity comparable to the paper's figures; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import features, runner, timing
+from repro.apps import get_app
+from repro.modes import ALL_MODES
+
+FIG5_APPS = ("fft", "jacobi", "lu", "md", "pi", "qsort", "bfs")
+FIG6_APPS = ("clustering", "wordcount")
+
+
+def _parse_int_list(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _format_seconds(value: float | None) -> str:
+    return f"{value:10.4f}" if value is not None else " " * 9 + "-"
+
+
+def print_series_table(points, thread_counts, series_order,
+                       out=None) -> None:
+    """Rows = series, columns = thread counts; wall and projected."""
+    out = out if out is not None else sys.stdout
+    by_key = {}
+    errors = {}
+    for point in points:
+        if point.error is not None:
+            errors[point.series] = point.error
+        by_key[point.series, point.threads] = point
+    header = "series".ljust(12) + "".join(
+        f"{f'{t} thr':>24}" for t in thread_counts)
+    print(header, file=out)
+    print(" " * 12 + "".join(f"{'wall[s]':>12}{'proj[s]':>12}"
+                             for _ in thread_counts), file=out)
+    for series in series_order:
+        cells = []
+        for threads in thread_counts:
+            point = by_key.get((series, threads))
+            if point is None or point.measurement is None:
+                cells.append(" " * 11 + "-" + " " * 11 + "-")
+            else:
+                cells.append(_format_seconds(point.wall) + "  "
+                             + _format_seconds(point.projected))
+        print(series.ljust(12) + "".join(cells), file=out)
+        if series in errors:
+            print(f"    !! {errors[series]}", file=out)
+    bad = [p for p in points if p.verified is False]
+    if bad:
+        print(f"    !! {len(bad)} measurement(s) FAILED verification",
+              file=out)
+    print(render_speedup_chart(points, thread_counts, series_order),
+          file=out)
+
+
+def render_speedup_chart(points, thread_counts, series_order,
+                         width: int = 34) -> str:
+    """ASCII bars of projected self-speedup per series (the visual
+    shape of the paper's log-scale curves, terminal edition)."""
+    by_key = {(p.series, p.threads): p for p in points}
+    lines = ["    projected self-speedup "
+             f"(x{thread_counts[-1]} threads vs x{thread_counts[0]}):"]
+    peak = 1.0
+    speedups: dict[str, float] = {}
+    for series in series_order:
+        base = by_key.get((series, thread_counts[0]))
+        top = by_key.get((series, thread_counts[-1]))
+        if base and top and base.projected and top.projected:
+            speedups[series] = base.projected / top.projected
+            peak = max(peak, speedups[series])
+    for series in series_order:
+        value = speedups.get(series)
+        if value is None:
+            continue
+        bar = "#" * max(1, int(value / peak * width))
+        lines.append(f"    {series:<11} {bar} {value:.2f}x")
+    return "\n".join(lines)
+
+
+def cmd_table1(args) -> None:
+    print("TABLE I — STATIC CHARACTERISTICS OF EVALUATED BENCHMARKS")
+    print(f"{'bench':<8} {'OpenMP features (extracted)':<52} "
+          f"{'Synchronization':<18}")
+    for row in features.table1_rows():
+        print(f"{row.name:<8} {row.features:<52} "
+              f"{row.synchronization:<18}")
+    print()
+    print("Paper's rows for comparison:")
+    for name in FIG5_APPS:
+        spec = get_app(name)
+        if spec.table1:
+            print(f"{name:<8} {spec.table1[0]:<52} {spec.table1[1]:<18}")
+
+
+def points_to_json(points) -> list[dict]:
+    """Serializable form of a sweep (the ``--json`` output)."""
+    rows = []
+    for point in points:
+        rows.append({
+            "app": point.app,
+            "series": point.series,
+            "threads": point.threads,
+            "wall_s": point.wall,
+            "projected_s": point.projected,
+            "verified": point.verified,
+            "error": point.error,
+        })
+    return rows
+
+
+def _dump_json(args, payload) -> None:
+    if getattr(args, "json", None):
+        import json
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"(json written to {args.json})")
+
+
+def cmd_fig5(args) -> None:
+    apps = args.apps.split(",") if args.apps else list(FIG5_APPS)
+    thread_counts = _parse_int_list(args.threads)
+    print(f"FIG. 5 — SCALABILITY OF PARALLEL NUMERICAL APPLICATIONS "
+          f"(profile={args.profile})")
+    payload = {}
+    for name in apps:
+        spec = get_app(name)
+        print(f"\n== {name} ({spec.title}) ==")
+        points = runner.sweep(spec, thread_counts, args.profile,
+                              repeats=args.repeats)
+        series = [m.value for m in ALL_MODES] + ["pyomp"]
+        print_series_table(points, thread_counts, series)
+        payload[name] = points_to_json(points)
+    _dump_json(args, payload)
+
+
+def cmd_fig6(args) -> None:
+    thread_counts = _parse_int_list(args.threads)
+    print(f"FIG. 6 — CLUSTERING COEFFICIENT AND WORDCOUNT "
+          f"(profile={args.profile})")
+    payload = {}
+    for name in FIG6_APPS:
+        spec = get_app(name)
+        print(f"\n== {name} ({spec.title}) ==")
+        points = runner.sweep(spec, thread_counts, args.profile,
+                              repeats=args.repeats)
+        series = [m.value for m in ALL_MODES] + ["pyomp"]
+        print_series_table(points, thread_counts, series)
+        payload[name] = points_to_json(points)
+    _dump_json(args, payload)
+
+
+def cmd_fig7(args) -> None:
+    thread_counts = _parse_int_list(args.threads)
+    policies = ("static", "dynamic", "guided")
+    print(f"FIG. 7 — SCHEDULING POLICIES (chunk={args.chunk}, "
+          f"profile={args.profile})")
+    for name in FIG6_APPS:
+        spec = get_app(name)
+        print(f"\n== {name} ==")
+        grids = runner.schedule_sweep(spec, thread_counts, policies,
+                                      args.chunk, args.profile,
+                                      repeats=args.repeats)
+        # Speedups relative to Pure, 1 thread, static (the paper's
+        # normalization).
+        baseline = next(
+            p for p in grids["static"]
+            if p.series == "pure" and p.threads == thread_counts[0])
+        base_time = baseline.projected
+        print(f"{'policy':<9} {'series':<12}"
+              + "".join(f"{f'{t} thr':>10}" for t in thread_counts))
+        for policy in policies:
+            by_key = {(p.series, p.threads): p for p in grids[policy]}
+            for mode in ALL_MODES:
+                speedups = []
+                for threads in thread_counts:
+                    point = by_key.get((mode.value, threads))
+                    speedups.append(
+                        f"{base_time / point.projected:>9.2f}x"
+                        if point and point.projected else f"{'-':>10}")
+                print(f"{policy:<9} {mode.value:<12}"
+                      + "".join(speedups))
+
+
+def cmd_fig8(args) -> None:
+    from repro.apps import jacobi_mpi
+    node_counts = _parse_int_list(args.nodes)
+    threads = _parse_int_list(args.threads)[0]
+    sizes = jacobi_mpi.SIZES[args.profile]
+    print(f"FIG. 8 — HYBRID MPI/OPENMP JACOBI "
+          f"({threads} threads per node, n={sizes['n']})")
+    print(f"{'mode':<12}" + "".join(f"{f'{c} nodes':>24}"
+                                    for c in node_counts))
+    print(" " * 12 + "".join(f"{'wall[s]':>12}{'proj[s]':>12}"
+                             for _ in node_counts))
+    for mode in ALL_MODES:
+        cells = []
+        for nodes in node_counts:
+            measurement = timing.measure_mpi(
+                jacobi_mpi.solve, nodes, repeats=args.repeats,
+                nodes=nodes, threads=threads, mode=mode, **sizes)
+            ok = jacobi_mpi.verify(measurement.value, sizes["n"])
+            cell = (_format_seconds(measurement.wall) + "  "
+                    + _format_seconds(measurement.projected))
+            cells.append(cell if ok else cell + "!")
+        print(f"{mode.value:<12}" + "".join(cells))
+
+
+def cmd_headline(args) -> None:
+    """The Section IV-A headline numbers, from a compact sweep."""
+    thread_counts = _parse_int_list(args.threads)
+    top = thread_counts[-1]
+    apps = args.apps.split(",") if args.apps else list(FIG5_APPS)
+    rows: dict[str, dict] = {}
+    for name in apps:
+        spec = get_app(name)
+        rows[name] = {}
+        points = runner.sweep(spec, thread_counts, args.profile,
+                              repeats=args.repeats)
+        for point in points:
+            if point.measurement is not None:
+                rows[name][point.series, point.threads] = point.projected
+    print(f"HEADLINE COMPARISONS (projected times, profile="
+          f"{args.profile}, {top} threads)")
+
+    def ratio(name, series_a, series_b, threads):
+        a = rows[name].get((series_a, threads))
+        b = rows[name].get((series_b, threads))
+        return a / b if a and b else None
+
+    pure_speedups = {
+        name: rows[name].get(("pure", thread_counts[0]), 0)
+        / rows[name][("pure", top)]
+        for name in apps if rows[name].get(("pure", top))}
+    best = max(pure_speedups, key=pure_speedups.get)
+    print(f"  Pure max self-speedup at {top} threads: "
+          f"{pure_speedups[best]:.1f}x ({best})  [paper: 3.6x, jacobi]")
+    compiled_vs_pure = [r for name in apps
+                        if (r := ratio(name, "pure", "compiled", top))]
+    if compiled_vs_pure:
+        mean = sum(compiled_vs_pure) / len(compiled_vs_pure)
+        print(f"  Compiled vs Pure at {top} threads: {mean:.1f}x faster "
+              f"on average  [paper: 2.5x]")
+    dt_vs_pure = [r for name in apps
+                  if (r := ratio(name, "pure", "compileddt", top))]
+    if dt_vs_pure:
+        mean = sum(dt_vs_pure) / len(dt_vs_pure)
+        print(f"  CompiledDT vs Pure at {top} threads: {mean:.0f}x faster "
+              f"on average  [paper: 785x]")
+    pyomp_vs_dt = [r for name in apps
+                   if (r := ratio(name, "pyomp", "compileddt", top))]
+    if pyomp_vs_dt:
+        mean = sum(pyomp_vs_dt) / len(pyomp_vs_dt)
+        print(f"  PyOMP vs CompiledDT at {top} threads: CompiledDT "
+              f"{(mean - 1) * 100:+.1f}% faster on average  "
+              f"[paper: +4.5%]")
+
+
+def cmd_check(args) -> None:
+    """Machine-checked paper-shape verdicts (see shapecheck module)."""
+    from repro.analysis import shapecheck
+    results = shapecheck.run_all(args.profile, repeats=args.repeats)
+    for result in results:
+        print(result.line())
+    failed = sum(1 for result in results if not result.passed)
+    print(f"\n{len(results) - failed}/{len(results)} shape claims hold")
+    _dump_json(args, [{"claim": r.claim, "passed": r.passed,
+                       "detail": r.detail} for r in results])
+    if failed:
+        raise SystemExit(1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.report",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("command",
+                        choices=("table1", "fig5", "fig6", "fig7", "fig8",
+                                 "headline", "check"))
+    parser.add_argument("--profile", default="default",
+                        choices=("test", "default", "paper"))
+    parser.add_argument("--threads", default="1,2,4",
+                        help="comma-separated thread counts")
+    parser.add_argument("--nodes", default="1,2,4,8",
+                        help="node counts for fig8")
+    parser.add_argument("--apps", default=None,
+                        help="comma-separated app subset")
+    parser.add_argument("--chunk", type=int, default=300,
+                        help="chunk size for fig7")
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write machine-readable results "
+                             "(fig5, fig6, check)")
+    return parser
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    {"table1": cmd_table1, "fig5": cmd_fig5, "fig6": cmd_fig6,
+     "fig7": cmd_fig7, "fig8": cmd_fig8, "headline": cmd_headline,
+     "check": cmd_check}[args.command](args)
+
+
+if __name__ == "__main__":
+    main()

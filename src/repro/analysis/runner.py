@@ -1,0 +1,120 @@
+"""Sweep runner: modes × thread counts over the benchmark apps."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.timing import Measurement, measure
+from repro.errors import OmpError
+from repro.modes import ALL_MODES, Mode
+
+
+@dataclasses.dataclass
+class SweepPoint:
+    """One (app, series, threads) measurement."""
+
+    app: str
+    series: str          # mode value or "pyomp" / "seq"
+    threads: int
+    measurement: Measurement | None
+    verified: bool | None
+    error: str | None = None
+
+    @property
+    def wall(self) -> float | None:
+        return self.measurement.wall if self.measurement else None
+
+    @property
+    def projected(self) -> float | None:
+        return self.measurement.projected if self.measurement else None
+
+
+def run_point(spec, mode: Mode, threads: int, profile: str,
+              repeats: int = 1, reference=None, **overrides) -> SweepPoint:
+    """Measure one app variant; inputs are rebuilt per repetition."""
+    dt = mode is Mode.COMPILED_DT
+    variant = spec.variant(mode)
+
+    def make_args():
+        inputs = spec.inputs(profile, dt=dt, **overrides)
+        inputs["threads"] = threads
+        return (), inputs
+
+    measurement = measure(variant, repeats=repeats, make_args=make_args)
+    verified = (bool(spec.verify(measurement.value, reference))
+                if reference is not None else None)
+    return SweepPoint(app=spec.name, series=mode.value, threads=threads,
+                      measurement=measurement, verified=verified)
+
+
+def run_pyomp_point(spec, threads: int, profile: str, repeats: int = 1,
+                    reference=None, **overrides) -> SweepPoint:
+    """Measure the PyOMP baseline, or record its documented failure."""
+    from repro.cruntime import cruntime
+    try:
+        variant = spec.pyomp_variant()
+    except OmpError as error:
+        return SweepPoint(app=spec.name, series="pyomp", threads=threads,
+                          measurement=None, verified=None,
+                          error=f"{type(error).__name__}: {error}")
+
+    def make_args():
+        inputs = spec.inputs(profile, dt=True, **overrides)
+        inputs["threads"] = threads
+        return (), inputs
+
+    measurement = measure(variant, runtime=cruntime, repeats=repeats,
+                          make_args=make_args)
+    verified = (bool(spec.verify(measurement.value, reference))
+                if reference is not None else None)
+    return SweepPoint(app=spec.name, series="pyomp", threads=threads,
+                      measurement=measurement, verified=verified)
+
+
+def sweep(spec, thread_counts, profile: str = "default",
+          modes=ALL_MODES, include_pyomp: bool = True,
+          repeats: int = 1, verify: bool = True,
+          **overrides) -> list[SweepPoint]:
+    """The Fig. 5/6 grid for one app."""
+    reference = None
+    if verify:
+        reference = spec.sequential(**spec.inputs(profile, **overrides))
+    points: list[SweepPoint] = []
+    for mode in modes:
+        for threads in thread_counts:
+            points.append(run_point(spec, mode, threads, profile,
+                                    repeats=repeats, reference=reference,
+                                    **overrides))
+    if include_pyomp:
+        for threads in thread_counts:
+            point = run_pyomp_point(spec, threads, profile,
+                                    repeats=repeats, reference=reference,
+                                    **overrides)
+            points.append(point)
+            if point.error is not None:
+                break  # one failure row is enough, as in the paper
+    return points
+
+
+def schedule_sweep(spec, thread_counts, policies, chunk: int,
+                   profile: str = "default", modes=ALL_MODES,
+                   repeats: int = 1) -> dict[str, list[SweepPoint]]:
+    """The Fig. 7 grid: scheduling policies via the runtime ICV.
+
+    Kernels written with ``schedule(runtime)`` pick the policy up from
+    ``omp_set_schedule`` on their bound runtime.
+    """
+    from repro.cruntime import cruntime
+    from repro.runtime import pure_runtime
+    results: dict[str, list[SweepPoint]] = {}
+    for policy in policies:
+        for rt in (pure_runtime, cruntime):
+            rt.set_schedule(policy, chunk)
+        try:
+            results[policy] = sweep(spec, thread_counts, profile,
+                                    modes=modes, include_pyomp=False,
+                                    repeats=repeats)
+        finally:
+            for rt in (pure_runtime, cruntime):
+                rt.set_schedule("static")
+    return results

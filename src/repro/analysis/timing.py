@@ -1,0 +1,121 @@
+"""Timing with the free-threaded-interpreter projection.
+
+``measure`` runs a transformed kernel, recording both the measured wall
+time and the projected no-GIL wall time derived from per-thread CPU
+accounting (see :mod:`repro.runtime.stats` and DESIGN.md).  On the
+paper's hardware the projection equals the measurement; under a GIL it
+recovers the quantity the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+import sys
+import time
+
+from repro.decorator import runtime_for
+from repro.modes import Mode
+
+
+@dataclasses.dataclass
+class Measurement:
+    """One timed kernel execution (or the mean of several)."""
+
+    wall: float
+    projected: float
+    serialized_cpu: float
+    critical_cpu: float
+    regions: int
+    value: object = None
+
+    @property
+    def parallel_fraction(self) -> float:
+        """Fraction of the wall time spent inside parallel regions."""
+        return min(1.0, self.serialized_cpu / self.wall) if self.wall \
+            else 0.0
+
+
+def _runtime_of(fn, runtime):
+    if runtime is not None:
+        return runtime
+    mode = getattr(fn, "__omp_mode__", None)
+    return runtime_for(mode if mode is not None else Mode.HYBRID)
+
+
+def measure(fn, /, *args, runtime=None, repeats: int = 1,
+            make_args=None, **kwargs) -> Measurement:
+    """Run ``fn`` ``repeats`` times; return mean wall/projection.
+
+    ``make_args`` (when given) is called before every repetition and
+    must return ``(args, kwargs)`` — needed for kernels that mutate
+    their inputs (lu, qsort, md, ...).
+    """
+    rt = _runtime_of(fn, runtime)
+    walls: list[float] = []
+    projections: list[float] = []
+    serialized_total = 0.0
+    critical_total = 0.0
+    regions_total = 0
+    value = None
+    # Finer-grained GIL switching reduces measurement noise from thread
+    # scheduling granularity; restored afterwards.
+    old_interval = sys.getswitchinterval()
+    sys.setswitchinterval(0.0005)
+    try:
+        for _repeat in range(repeats):
+            if make_args is not None:
+                call_args, call_kwargs = make_args()
+            else:
+                call_args, call_kwargs = args, kwargs
+            rt.stats.reset()
+            begin = time.perf_counter()
+            value = fn(*call_args, **call_kwargs)
+            wall = time.perf_counter() - begin
+            serialized, critical, regions = rt.stats.totals()
+            walls.append(wall)
+            projections.append(rt.stats.project(wall))
+            serialized_total += serialized
+            critical_total += critical
+            regions_total += regions
+    finally:
+        sys.setswitchinterval(old_interval)
+    count = max(1, repeats)
+    return Measurement(
+        wall=statistics.fmean(walls),
+        projected=statistics.fmean(projections),
+        serialized_cpu=serialized_total / count,
+        critical_cpu=critical_total / count,
+        regions=regions_total // count,
+        value=value)
+
+
+def measure_mpi(launch, nodes: int, /, *args, runtime=None,
+                repeats: int = 1, **kwargs) -> Measurement:
+    """Measure a hybrid MPI/OpenMP launch.
+
+    Rank regions execute concurrently across "nodes", so the cluster
+    projection divides the single-interpreter projection by the node
+    count — the uniform-concurrency model documented in DESIGN.md
+    (per-rank imbalance is already inside the per-region maxima).
+    """
+    from repro.cruntime import cruntime
+    from repro.runtime import pure_runtime
+    runtimes = [runtime] if runtime is not None else [pure_runtime,
+                                                      cruntime]
+    walls: list[float] = []
+    projections: list[float] = []
+    value = None
+    for _repeat in range(repeats):
+        for rt in runtimes:
+            rt.stats.reset()
+        begin = time.perf_counter()
+        value = launch(*args, **kwargs)
+        wall = time.perf_counter() - begin
+        projected = min(rt.stats.project(wall) for rt in runtimes)
+        walls.append(wall)
+        projections.append(projected / nodes)
+    return Measurement(
+        wall=statistics.fmean(walls),
+        projected=statistics.fmean(projections),
+        serialized_cpu=0.0, critical_cpu=0.0, regions=0, value=value)

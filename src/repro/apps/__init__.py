@@ -1,0 +1,15 @@
+"""The paper's benchmark applications.
+
+Numerical (Section IV-A): fft, jacobi, lu, md, pi, qsort, bfs.
+Non-numerical (Section IV-B): clustering, wordcount.
+Hybrid (Section IV-C): jacobi_mpi.
+
+Every app module exposes a :class:`repro.apps.base.AppSpec` named
+``SPEC`` with input generation, a sequential reference, per-mode OMP4Py
+kernels, the PyOMP variant (or its documented failure), verification,
+and the paper/default/test problem sizes.
+"""
+
+from repro.apps.base import AppSpec, get_app, list_apps
+
+__all__ = ["AppSpec", "get_app", "list_apps"]

@@ -1,0 +1,122 @@
+"""Task-parallel maze pathfinding via BFS (the paper's *bfs*).
+
+Paper configuration: 2100×2100 grid, entrance top-left, exit
+bottom-right, zeros are paths and ones are walls, one task per feasible
+move; constructs: ``parallel``, ``single``, ``task`` (Table I).
+
+For PyOMP the paper reports "an error is raised during execution of the
+PyOMP code related to Numba"; the baseline spec reproduces that as a
+runtime error.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.apps.base import AppSpec
+from repro.api import omp
+
+
+def make_maze(n: int, seed: int = 31, wall_density: float = 0.3):
+    """Random maze with a guaranteed monotone path."""
+    rng = random.Random(seed)
+    grid = [[1 if rng.random() < wall_density else 0 for _ in range(n)]
+            for _ in range(n)]
+    row = col = 0
+    grid[0][0] = 0
+    while row < n - 1 or col < n - 1:
+        if row == n - 1:
+            col += 1
+        elif col == n - 1:
+            row += 1
+        elif rng.random() < 0.5:
+            row += 1
+        else:
+            col += 1
+        grid[row][col] = 0
+    return grid
+
+
+def make_input(n: int, seed: int = 31) -> dict:
+    return {"grid": make_maze(n, seed), "n": n}
+
+
+def sequential(grid, n):
+    """Reference BFS: (exit reached, number of reachable cells)."""
+    visited = [[False] * n for _ in range(n)]
+    visited[0][0] = True
+    frontier = deque([(0, 0)])
+    count = 1
+    while frontier:
+        row, col = frontier.popleft()
+        for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nr, nc = row + dr, col + dc
+            if 0 <= nr < n and 0 <= nc < n and grid[nr][nc] == 0 \
+                    and not visited[nr][nc]:
+                visited[nr][nc] = True
+                count += 1
+                frontier.append((nr, nc))
+    return visited[n - 1][n - 1], count
+
+
+def kernel(grid, n, threads):
+    visited = [[False] * n for _ in range(n)]
+    visited[0][0] = True
+    state = {"count": 1, "reached": False}
+
+    def explore(row, col):
+        if row == n - 1 and col == n - 1:
+            with omp("critical(bfs_state)"):
+                state["reached"] = True
+        for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nr = row + dr
+            nc = col + dc
+            if 0 <= nr < n and 0 <= nc < n and grid[nr][nc] == 0:
+                claimed = False
+                with omp("critical(bfs_visited)"):
+                    if not visited[nr][nc]:
+                        visited[nr][nc] = True
+                        state["count"] += 1
+                        claimed = True
+                if claimed:
+                    # Each feasible move spawns a task (paper IV-A).
+                    with omp("task firstprivate(nr, nc)"):
+                        explore(nr, nc)
+
+    with omp("parallel num_threads(threads)"):
+        with omp("single"):
+            explore(0, 0)
+    return state["reached"], state["count"]
+
+
+# The maze explorer is symbolic work (tuples, bounds tests, dict state):
+# exactly the kind of code native compilation cannot reshape, so the
+# typed pipeline shares the untyped source and falls back gracefully.
+kernel_dt = kernel
+
+#: The paper: PyOMP raises a Numba-internal error while executing bfs.
+PYOMP_STATUS = ("runtime_error: Numba internal error while lowering "
+                "task region (paper Section IV-A)")
+
+
+def verify(result, reference) -> bool:
+    return tuple(result) == tuple(reference)
+
+
+SPEC = AppSpec(
+    name="bfs",
+    title="Maze pathfinding (BFS)",
+    make_input=make_input,
+    sequential=sequential,
+    kernel=kernel,
+    kernel_dt=kernel_dt,
+    pyomp=PYOMP_STATUS,
+    verify=verify,
+    sizes={
+        "test": {"n": 31},
+        "default": {"n": 101},
+        "paper": {"n": 2100},
+    },
+    table1=("parallel, single, task", "Implicit barriers"),
+)

@@ -1,0 +1,121 @@
+"""Per-node clustering coefficient over a NetworkX graph (paper IV-B).
+
+Paper configuration: 300k-node graph with ~100 edges per node, built
+and processed with NetworkX.  PyOMP cannot run it: "Numba cannot compile
+NetworkX's Graph object and related functions" — reproduced by the
+envelope checker rejecting attribute calls on the graph object.
+
+The loop uses ``schedule(runtime)`` so the Fig. 7 scheduling-policy
+sweep can switch policies through ``omp_set_schedule`` without
+recompiling.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.apps.base import AppSpec
+from repro.api import omp
+
+
+def make_graph(nodes: int, degree: int, seed: int = 5150) -> nx.Graph:
+    # Power-law-ish degree spread creates the load imbalance that makes
+    # dynamic scheduling matter (paper Fig. 7's discussion).
+    graph = nx.barabasi_albert_graph(nodes, max(1, degree // 2),
+                                     seed=seed)
+    return graph
+
+
+def make_input(nodes: int, degree: int, seed: int = 5150) -> dict:
+    graph = make_graph(nodes, degree, seed)
+    return {"graph": graph, "nodes": list(graph.nodes()),
+            "count": graph.number_of_nodes()}
+
+
+def sequential(graph, nodes, count):
+    coefficients = [0.0] * count
+    for index in range(count):
+        coefficients[index] = _local_clustering(graph, nodes[index])
+    return coefficients
+
+
+def _local_clustering(graph, node) -> float:
+    neighbors = list(graph[node])
+    degree = len(neighbors)
+    if degree < 2:
+        return 0.0
+    links = 0
+    adjacency = graph.adj
+    for position, u in enumerate(neighbors):
+        u_adj = adjacency[u]
+        for v in neighbors[position + 1:]:
+            if v in u_adj:
+                links += 1
+    return 2.0 * links / (degree * (degree - 1))
+
+
+def kernel(graph, nodes, count, threads):
+    coefficients = [0.0] * count
+    adjacency = graph.adj
+    with omp("parallel for num_threads(threads) schedule(runtime)"):
+        for index in range(count):
+            node = nodes[index]
+            neighbors = list(adjacency[node])
+            degree = len(neighbors)
+            if degree < 2:
+                coefficients[index] = 0.0
+            else:
+                links = 0
+                for position in range(degree - 1):
+                    u_adj = adjacency[neighbors[position]]
+                    for offset in range(position + 1, degree):
+                        if neighbors[offset] in u_adj:
+                            links += 1
+                coefficients[index] = (2.0 * links
+                                       / (degree * (degree - 1)))
+    return coefficients
+
+
+# NetworkX adjacency lookups dominate: native compilation cannot reach
+# inside the library (paper: "Compiled modes offer no significant
+# advantage"), so all four modes share the same source.
+kernel_dt = kernel
+
+
+def pyomp_kernel(graph, nodes, count, threads):
+    coefficients = [0.0] * count
+    with openmp("parallel for num_threads(threads)"):  # noqa: F821
+        for index in range(count):
+            coefficients[index] = graph.degree(nodes[index])
+    return coefficients
+
+
+def verify(result, reference) -> bool:
+    if len(result) != len(reference):
+        return False
+    return all(abs(a - b) < 1e-9 for a, b in zip(result, reference))
+
+
+def verify_against_networkx(result, graph, nodes) -> bool:
+    """Stronger check used by the integration tests."""
+    expected = nx.clustering(graph)
+    return all(abs(result[index] - expected[node]) < 1e-9
+               for index, node in enumerate(nodes))
+
+
+SPEC = AppSpec(
+    name="clustering",
+    title="Clustering coefficient",
+    make_input=make_input,
+    sequential=sequential,
+    kernel=kernel,
+    kernel_dt=kernel_dt,
+    pyomp=pyomp_kernel,
+    verify=verify,
+    sizes={
+        "test": {"nodes": 120, "degree": 8},
+        "default": {"nodes": 1500, "degree": 12},
+        "paper": {"nodes": 300_000, "degree": 100},
+    },
+    table1=None,
+)

@@ -1,0 +1,345 @@
+"""Molecular dynamics with velocity Verlet (the paper's *md*).
+
+Paper configuration: 8000 particles, central pair potential, velocity
+Verlet integration; constructs: ``parallel reduction(+)`` with an inner
+``for``, plus a ``parallel for`` (Table I).
+
+The pair potential is harmonic around ``d0`` (a central potential, as
+in the classic OpenMP md benchmark); forces and potential energy come
+from the all-pairs inner loop, kinetic energy from the update loop's
+reduction.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+
+from repro.apps.base import AppSpec
+from repro.api import omp
+
+D0 = 1.0  # equilibrium pair distance
+DT = 1e-4
+MASS = 1.0
+
+
+def make_particles(n: int, seed: int = 97):
+    rng = random.Random(seed)
+    side = max(1.0, n ** (1.0 / 3.0))
+    pos = [[rng.uniform(0.0, side) for _ in range(n)] for _ in range(3)]
+    vel = [[rng.uniform(-1.0, 1.0) for _ in range(n)] for _ in range(3)]
+    acc = [[0.0] * n for _ in range(3)]
+    return pos, vel, acc
+
+
+def make_input(n: int, steps: int = 2, seed: int = 97) -> dict:
+    pos, vel, acc = make_particles(n, seed)
+    return {"px": pos[0], "py": pos[1], "pz": pos[2],
+            "vx": vel[0], "vy": vel[1], "vz": vel[2],
+            "ax": acc[0], "ay": acc[1], "az": acc[2],
+            "n": n, "steps": steps}
+
+
+def make_input_dt(n: int, steps: int = 2, seed: int = 97) -> dict:
+    plain = make_input(n, steps, seed)
+    return {key: (np.array(value) if isinstance(value, list) else value)
+            for key, value in plain.items()}
+
+
+def _forces_seq(px, py, pz, ax, ay, az, n):
+    potential = 0.0
+    for i in range(n):
+        fx = fy = fz = 0.0
+        for j in range(n):
+            if j == i:
+                continue
+            dx = px[i] - px[j]
+            dy = py[i] - py[j]
+            dz = pz[i] - pz[j]
+            d = math.sqrt(dx * dx + dy * dy + dz * dz)
+            potential += 0.25 * (d - D0) * (d - D0)
+            pull = (D0 - d) / d
+            fx += pull * dx
+            fy += pull * dy
+            fz += pull * dz
+        ax[i] = fx / MASS
+        ay[i] = fy / MASS
+        az[i] = fz / MASS
+    return potential
+
+
+def sequential(px, py, pz, vx, vy, vz, ax, ay, az, n, steps):
+    potential = _forces_seq(px, py, pz, ax, ay, az, n)
+    kinetic = 0.0
+    for _step in range(steps):
+        for i in range(n):
+            px[i] += vx[i] * DT + 0.5 * ax[i] * DT * DT
+            py[i] += vy[i] * DT + 0.5 * ay[i] * DT * DT
+            pz[i] += vz[i] * DT + 0.5 * az[i] * DT * DT
+            vx[i] += 0.5 * ax[i] * DT
+            vy[i] += 0.5 * ay[i] * DT
+            vz[i] += 0.5 * az[i] * DT
+        potential = _forces_seq(px, py, pz, ax, ay, az, n)
+        kinetic = 0.0
+        for i in range(n):
+            vx[i] += 0.5 * ax[i] * DT
+            vy[i] += 0.5 * ay[i] * DT
+            vz[i] += 0.5 * az[i] * DT
+            kinetic += 0.5 * MASS * (vx[i] * vx[i] + vy[i] * vy[i]
+                                     + vz[i] * vz[i])
+    return potential, kinetic
+
+
+def kernel(px, py, pz, vx, vy, vz, ax, ay, az, n, steps, threads):
+    import math
+    d0 = 1.0
+    dt = 1e-4
+    potential = 0.0
+    kinetic = 0.0
+    with omp("parallel num_threads(threads) reduction(+:potential)"):
+        with omp("for"):
+            for i in range(n):
+                fx = 0.0
+                fy = 0.0
+                fz = 0.0
+                for j in range(n):
+                    dx = px[i] - px[j]
+                    dy = py[i] - py[j]
+                    dz = pz[i] - pz[j]
+                    mask = 0.0 if j == i else 1.0
+                    d = math.sqrt(dx * dx + dy * dy + dz * dz
+                                  + (1.0 - mask))
+                    potential += mask * 0.25 * (d - d0) * (d - d0)
+                    pull = mask * (d0 - d) / d
+                    fx += pull * dx
+                    fy += pull * dy
+                    fz += pull * dz
+                ax[i] = fx
+                ay[i] = fy
+                az[i] = fz
+    for _step in range(steps):
+        with omp("parallel for num_threads(threads)"):
+            for i in range(n):
+                px[i] += vx[i] * dt + 0.5 * ax[i] * dt * dt
+                py[i] += vy[i] * dt + 0.5 * ay[i] * dt * dt
+                pz[i] += vz[i] * dt + 0.5 * az[i] * dt * dt
+                vx[i] += 0.5 * ax[i] * dt
+                vy[i] += 0.5 * ay[i] * dt
+                vz[i] += 0.5 * az[i] * dt
+        potential = 0.0
+        with omp("parallel num_threads(threads) reduction(+:potential)"):
+            with omp("for"):
+                for i in range(n):
+                    fx = 0.0
+                    fy = 0.0
+                    fz = 0.0
+                    for j in range(n):
+                        dx = px[i] - px[j]
+                        dy = py[i] - py[j]
+                        dz = pz[i] - pz[j]
+                        mask = 0.0 if j == i else 1.0
+                        d = math.sqrt(dx * dx + dy * dy + dz * dz
+                                      + (1.0 - mask))
+                        potential += mask * 0.25 * (d - d0) * (d - d0)
+                        pull = mask * (d0 - d) / d
+                        fx += pull * dx
+                        fy += pull * dy
+                        fz += pull * dz
+                    ax[i] = fx
+                    ay[i] = fy
+                    az[i] = fz
+        kinetic = 0.0
+        with omp("parallel for num_threads(threads) reduction(+:kinetic)"):
+            for i in range(n):
+                vx[i] += 0.5 * ax[i] * dt
+                vy[i] += 0.5 * ay[i] * dt
+                vz[i] += 0.5 * az[i] * dt
+                kinetic += 0.5 * (vx[i] * vx[i] + vy[i] * vy[i]
+                                  + vz[i] * vz[i])
+    return potential, kinetic
+
+
+def kernel_dt(px, py, pz, vx, vy, vz, ax, ay, az, n, steps, threads):
+    import math
+    d0: float = 1.0
+    dt: float = 1e-4
+    potential: float = 0.0
+    kinetic: float = 0.0
+    with omp("parallel num_threads(threads) reduction(+:potential)"):
+        with omp("for"):
+            for i in range(n):
+                xi: float = px[i]
+                yi: float = py[i]
+                zi: float = pz[i]
+                fx: float = 0.0
+                fy: float = 0.0
+                fz: float = 0.0
+                for j in range(n):
+                    dx = xi - px[j]
+                    dy = yi - py[j]
+                    dz = zi - pz[j]
+                    mask = 0.0 if j == i else 1.0
+                    d = math.sqrt(dx * dx + dy * dy + dz * dz
+                                  + (1.0 - mask))
+                    potential += mask * 0.25 * (d - d0) * (d - d0)
+                    pull = mask * (d0 - d) / d
+                    fx += pull * dx
+                    fy += pull * dy
+                    fz += pull * dz
+                ax[i] = fx
+                ay[i] = fy
+                az[i] = fz
+    for _step in range(steps):
+        with omp("parallel for num_threads(threads)"):
+            for i in range(n):
+                px[i] += vx[i] * dt + 0.5 * ax[i] * dt * dt
+                py[i] += vy[i] * dt + 0.5 * ay[i] * dt * dt
+                pz[i] += vz[i] * dt + 0.5 * az[i] * dt * dt
+                vx[i] += 0.5 * ax[i] * dt
+                vy[i] += 0.5 * ay[i] * dt
+                vz[i] += 0.5 * az[i] * dt
+        potential = 0.0
+        with omp("parallel num_threads(threads) reduction(+:potential)"):
+            with omp("for"):
+                for i in range(n):
+                    xi2: float = px[i]
+                    yi2: float = py[i]
+                    zi2: float = pz[i]
+                    fx2: float = 0.0
+                    fy2: float = 0.0
+                    fz2: float = 0.0
+                    for j in range(n):
+                        dx = xi2 - px[j]
+                        dy = yi2 - py[j]
+                        dz = zi2 - pz[j]
+                        mask = 0.0 if j == i else 1.0
+                        d = math.sqrt(dx * dx + dy * dy + dz * dz
+                                      + (1.0 - mask))
+                        potential += mask * 0.25 * (d - d0) * (d - d0)
+                        pull = mask * (d0 - d) / d
+                        fx2 += pull * dx
+                        fy2 += pull * dy
+                        fz2 += pull * dz
+                    ax[i] = fx2
+                    ay[i] = fy2
+                    az[i] = fz2
+        kinetic = 0.0
+        with omp("parallel for num_threads(threads) reduction(+:kinetic)"):
+            for i in range(n):
+                vx[i] += 0.5 * ax[i] * dt
+                vy[i] += 0.5 * ay[i] * dt
+                vz[i] += 0.5 * az[i] * dt
+                kinetic += 0.5 * (vx[i] * vx[i] + vy[i] * vy[i]
+                                  + vz[i] * vz[i])
+    return potential, kinetic
+
+
+def pyomp_kernel(px, py, pz, vx, vy, vz, ax, ay, az, n, steps, threads):
+    # Same computation as kernel_dt, in PyOMP spelling, so the paper's
+    # performance comparison is over identical work.
+    import math
+    d0: float = 1.0
+    dt: float = 1e-4
+    potential: float = 0.0
+    kinetic: float = 0.0
+    with openmp("parallel num_threads(threads) "  # noqa: F821
+                "reduction(+:potential)"):
+        with openmp("for"):  # noqa: F821
+            for i in range(n):
+                xi: float = px[i]
+                yi: float = py[i]
+                zi: float = pz[i]
+                fx: float = 0.0
+                fy: float = 0.0
+                fz: float = 0.0
+                for j in range(n):
+                    dx = xi - px[j]
+                    dy = yi - py[j]
+                    dz = zi - pz[j]
+                    mask = 0.0 if j == i else 1.0
+                    d = math.sqrt(dx * dx + dy * dy + dz * dz
+                                  + (1.0 - mask))
+                    potential += mask * 0.25 * (d - d0) * (d - d0)
+                    pull = mask * (d0 - d) / d
+                    fx += pull * dx
+                    fy += pull * dy
+                    fz += pull * dz
+                ax[i] = fx
+                ay[i] = fy
+                az[i] = fz
+    for _step in range(steps):
+        with openmp("parallel for num_threads(threads)"):  # noqa: F821
+            for i in range(n):
+                px[i] += vx[i] * dt + 0.5 * ax[i] * dt * dt
+                py[i] += vy[i] * dt + 0.5 * ay[i] * dt * dt
+                pz[i] += vz[i] * dt + 0.5 * az[i] * dt * dt
+                vx[i] += 0.5 * ax[i] * dt
+                vy[i] += 0.5 * ay[i] * dt
+                vz[i] += 0.5 * az[i] * dt
+        potential = 0.0
+        with openmp("parallel num_threads(threads) "  # noqa: F821
+                    "reduction(+:potential)"):
+            with openmp("for"):  # noqa: F821
+                for i in range(n):
+                    xi2: float = px[i]
+                    yi2: float = py[i]
+                    zi2: float = pz[i]
+                    fx2: float = 0.0
+                    fy2: float = 0.0
+                    fz2: float = 0.0
+                    for j in range(n):
+                        dx = xi2 - px[j]
+                        dy = yi2 - py[j]
+                        dz = zi2 - pz[j]
+                        mask = 0.0 if j == i else 1.0
+                        d = math.sqrt(dx * dx + dy * dy + dz * dz
+                                      + (1.0 - mask))
+                        potential += mask * 0.25 * (d - d0) * (d - d0)
+                        pull = mask * (d0 - d) / d
+                        fx2 += pull * dx
+                        fy2 += pull * dy
+                        fz2 += pull * dz
+                    ax[i] = fx2
+                    ay[i] = fy2
+                    az[i] = fz2
+        kinetic = 0.0
+        with openmp("parallel for num_threads(threads) "  # noqa: F821
+                    "reduction(+:kinetic)"):
+            for i in range(n):
+                vx[i] += 0.5 * ax[i] * dt
+                vy[i] += 0.5 * ay[i] * dt
+                vz[i] += 0.5 * az[i] * dt
+                kinetic += 0.5 * (vx[i] * vx[i] + vy[i] * vy[i]
+                                  + vz[i] * vz[i])
+    return potential, kinetic
+
+
+def verify(result, reference) -> bool:
+    potential, kinetic = result
+    ref_potential, ref_kinetic = reference
+    return (abs(potential - ref_potential)
+            <= 1e-6 * max(1.0, abs(ref_potential))
+            and abs(kinetic - ref_kinetic)
+            <= 1e-6 * max(1.0, abs(ref_kinetic)))
+
+
+SPEC = AppSpec(
+    name="md",
+    title="Molecular dynamics",
+    make_input=make_input,
+    make_input_dt=make_input_dt,
+    sequential=sequential,
+    kernel=kernel,
+    kernel_dt=kernel_dt,
+    pyomp=pyomp_kernel,
+    verify=verify,
+    sizes={
+        "test": {"n": 48, "steps": 2},
+        "default": {"n": 512, "steps": 2},
+        "paper": {"n": 8000, "steps": 10},
+    },
+    table1=("parallel reduction(+) with inner for, parallel for",
+            "Implicit barriers"),
+)

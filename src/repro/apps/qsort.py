@@ -1,0 +1,127 @@
+"""Task-parallel quicksort (the paper's *qsort*).
+
+Paper configuration: 400M floats; constructs: ``parallel``, ``single``,
+``task`` with the ``if`` clause (Table I).  This is the benchmark PyOMP
+cannot express: the recursive algorithm needs tasks with the ``if``
+clause, unsupported in PyOMP v0.2.0 — reproduced by the envelope
+checker.
+
+Partitioning is inherently sequential pointer-chasing, so *CompiledDT*
+falls back to *Compiled* here; the paper's qsort speedups come from
+task parallelism (its best scaling case at 16.2×).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.apps.base import AppSpec
+from repro.api import omp
+
+#: Below this size a task is not worth its overhead (the if clause).
+TASK_CUTOFF = 2048
+#: Below this size insertion sort beats partitioning.
+SMALL_CUTOFF = 32
+
+
+def make_input(n: int, seed: int = 852) -> dict:
+    rng = random.Random(seed)
+    return {"data": [rng.random() for _ in range(n)], "n": n}
+
+
+def make_input_dt(n: int, seed: int = 852) -> dict:
+    # Partitioning is scalar pointer-chasing: a NumPy array would only
+    # add per-element boxing cost, so the typed variant keeps the list
+    # (as typed Cython would keep a C array it indexes scalarly).
+    return make_input(n, seed)
+
+
+def sequential(data, n):
+    data[:] = sorted(data[:n])
+    return data
+
+
+def kernel(data, n, threads):
+    def insertion(lo, hi):
+        for idx in range(lo + 1, hi):
+            value = data[idx]
+            pos = idx - 1
+            while pos >= lo and data[pos] > value:
+                data[pos + 1] = data[pos]
+                pos -= 1
+            data[pos + 1] = value
+
+    def partition(lo, hi):
+        mid = (lo + hi) // 2
+        # Median-of-three pivot to tame sorted inputs.
+        if data[mid] < data[lo]:
+            data[lo], data[mid] = data[mid], data[lo]
+        if data[hi - 1] < data[lo]:
+            data[lo], data[hi - 1] = data[hi - 1], data[lo]
+        if data[hi - 1] < data[mid]:
+            data[mid], data[hi - 1] = data[hi - 1], data[mid]
+        pivot = data[mid]
+        left = lo
+        right = hi - 1
+        while True:
+            while data[left] < pivot:
+                left += 1
+            while data[right] > pivot:
+                right -= 1
+            if left >= right:
+                return right
+            data[left], data[right] = data[right], data[left]
+            left += 1
+            right -= 1
+
+    def sort_range(lo, hi):
+        while hi - lo > SMALL_CUTOFF:
+            split = partition(lo, hi)
+            with omp("task if(split - lo > 2048) firstprivate(lo, split)"):
+                sort_range(lo, split + 1)
+            lo = split + 1
+        insertion(lo, hi)
+
+    with omp("parallel num_threads(threads)"):
+        with omp("single"):
+            sort_range(0, n)
+    return data
+
+
+# CompiledDT uses the same source: partitioning does not type-check into
+# a kernel (data-dependent control flow), so the typed pipeline falls
+# back to the Compiled optimizations — the honest Cython behaviour.
+kernel_dt = kernel
+
+
+def pyomp_kernel(data, n, threads):
+    with openmp("parallel num_threads(threads)"):  # noqa: F821
+        with openmp("single"):  # noqa: F821
+            with openmp("task if(n > 2048)"):  # noqa: F821
+                pass
+    return data
+
+
+def verify(result, reference) -> bool:
+    return bool(np.array_equal(np.asarray(result), np.asarray(reference)))
+
+
+SPEC = AppSpec(
+    name="qsort",
+    title="Quicksort",
+    make_input=make_input,
+    make_input_dt=make_input_dt,
+    sequential=sequential,
+    kernel=kernel,
+    kernel_dt=kernel_dt,
+    pyomp=pyomp_kernel,
+    verify=verify,
+    sizes={
+        "test": {"n": 5_000},
+        "default": {"n": 60_000},
+        "paper": {"n": 400_000_000},
+    },
+    table1=("parallel, single, task with if clause", "Implicit barriers"),
+)

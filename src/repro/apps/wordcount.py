@@ -1,0 +1,125 @@
+"""Parallel word count (paper IV-B).
+
+The paper uses the 21 GB Spanish Wikipedia dump and notes that, without
+an input file, "the benchmark will automatically generate a synthetic
+dataset from a fixed seed" — which is exactly what this module does: a
+Zipf-distributed corpus with heavy-tailed line lengths (the load
+imbalance that makes dynamic scheduling shine in Fig. 7).
+
+PyOMP cannot run it: its Numba release "lacks support for compiling
+Python dictionaries" — reproduced by the envelope checker.
+
+Per-thread dictionaries merge under a ``critical`` section; the loop
+uses ``schedule(runtime)`` for the Fig. 7 policy sweep.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.base import AppSpec
+from repro.api import omp
+
+_VOWELS = "aeiou"
+_CONSONANTS = "bcdfglmnprstv"
+
+
+def _make_vocabulary(size: int, rng: random.Random) -> list[str]:
+    vocabulary = set()
+    while len(vocabulary) < size:
+        syllables = rng.randint(2, 4)
+        word = "".join(rng.choice(_CONSONANTS) + rng.choice(_VOWELS)
+                       for _ in range(syllables))
+        vocabulary.add(word)
+    return sorted(vocabulary)
+
+
+def make_corpus(lines: int, vocabulary_size: int = 2000,
+                seed: int = 777) -> list[str]:
+    rng = random.Random(seed)
+    vocabulary = _make_vocabulary(vocabulary_size, rng)
+    # Zipf ranks: word k drawn with weight 1/(k+1).
+    weights = [1.0 / (rank + 1) for rank in range(vocabulary_size)]
+    corpus = []
+    for index in range(lines):
+        # Heavy-tailed line lengths: a few article-sized lines among
+        # many stubs, like a wiki dump.
+        if index % 97 == 0:
+            length = rng.randint(200, 400)
+        else:
+            length = rng.randint(3, 30)
+        corpus.append(" ".join(
+            rng.choices(vocabulary, weights=weights, k=length)))
+    return corpus
+
+
+def make_input(lines: int = 0, vocabulary_size: int = 2000,
+               seed: int = 777, path: str | None = None) -> dict:
+    """Build the corpus: from ``path`` when given (the paper's artifact
+    accepts the Wikipedia dump as a file argument), otherwise the
+    synthetic fixed-seed dataset the paper falls back to."""
+    if path is not None:
+        with open(path, encoding="utf-8", errors="replace") as handle:
+            corpus = handle.read().splitlines()
+    else:
+        corpus = make_corpus(lines, vocabulary_size, seed)
+    return {"corpus": corpus, "count": len(corpus)}
+
+
+def sequential(corpus, count):
+    counts: dict[str, int] = {}
+    for index in range(count):
+        for word in corpus[index].split():
+            counts[word] = counts.get(word, 0) + 1
+    return counts
+
+
+def kernel(corpus, count, threads):
+    counts = {}
+    with omp("parallel num_threads(threads)"):
+        local = {}
+        with omp("for schedule(runtime) nowait"):
+            for index in range(count):
+                for word in corpus[index].split():
+                    local[word] = local.get(word, 0) + 1
+        with omp("critical(wordcount_merge)"):
+            for word in local:
+                counts[word] = counts.get(word, 0) + local[word]
+    return counts
+
+
+# String splitting and dict updates cannot be lowered to native kernels
+# (the paper: "string and dictionary operations, which Cython cannot
+# optimize effectively") — the typed pipeline shares the source.
+kernel_dt = kernel
+
+
+def pyomp_kernel(corpus, count, threads):
+    counts = {}
+    with openmp("parallel for num_threads(threads)"):  # noqa: F821
+        for index in range(count):
+            for word in corpus[index].split():
+                counts[word] = counts.get(word, 0) + 1
+    return counts
+
+
+def verify(result, reference) -> bool:
+    return result == reference
+
+
+SPEC = AppSpec(
+    name="wordcount",
+    title="Word count",
+    make_input=make_input,
+    sequential=sequential,
+    kernel=kernel,
+    kernel_dt=kernel_dt,
+    pyomp=pyomp_kernel,
+    verify=verify,
+    sizes={
+        "test": {"lines": 300, "vocabulary_size": 300},
+        "default": {"lines": 4000},
+        "paper": {"lines": 2_000_000, "vocabulary_size": 200_000},
+    },
+    table1=None,
+)

@@ -1,0 +1,21 @@
+"""Atomic-operation substrate used by the native runtime simulation.
+
+The paper's ``cruntime`` is generated with Cython and uses C ``stdatomic``
+operations — ``fetch_add`` for dynamic-schedule counters, an atomic swap
+for shared-counter creation, and ``compare_exchange`` for lock-free task
+enqueueing.  CPython 3.11 exposes no atomics at the language level (the
+paper makes the same observation about 3.13/3.14), so this package
+*emulates* the C atomics API.
+
+Emulation strategy: a small, fixed pool of stripe locks shared by every
+atomic cell.  Each operation takes exactly one uncontended lock — the
+closest Python analogue of a hardware atomic — while preserving the
+algorithmic structure of lock-free code: CAS loops retry, ``fetch_add``
+never blocks other cells, and no user-visible mutex exists.  The
+substitution is documented in DESIGN.md.
+"""
+
+from repro.atomics.cell import (AtomicLong, AtomicRef, atomic_setdefault,
+                                cas_attr)
+
+__all__ = ["AtomicLong", "AtomicRef", "atomic_setdefault", "cas_attr"]

@@ -1,0 +1,120 @@
+"""Lock-striped emulation of C ``stdatomic`` cells.
+
+``AtomicLong`` mirrors ``atomic_long``; ``AtomicRef`` mirrors
+``_Atomic(void *)``.  Both hash onto one of ``_NUM_STRIPES`` pre-created
+locks, so cells are independent (operations on different cells contend
+only on hash collisions) and allocation-free after import.
+"""
+
+from __future__ import annotations
+
+import threading
+
+_NUM_STRIPES = 64
+_STRIPES = tuple(threading.Lock() for _ in range(_NUM_STRIPES))
+_COUNTER = iter(range(10**18))
+_COUNTER_LOCK = threading.Lock()
+
+
+def _next_stripe() -> threading.Lock:
+    with _COUNTER_LOCK:
+        index = next(_COUNTER)
+    return _STRIPES[index % _NUM_STRIPES]
+
+
+class AtomicLong:
+    """An integer cell with the C ``stdatomic`` operation set."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: int = 0):
+        self._value = value
+        self._lock = _next_stripe()
+
+    def load(self) -> int:
+        return self._value
+
+    def store(self, value: int) -> None:
+        with self._lock:
+            self._value = value
+
+    def swap(self, value: int) -> int:
+        with self._lock:
+            old = self._value
+            self._value = value
+            return old
+
+    def fetch_add(self, delta: int = 1) -> int:
+        """Atomically add ``delta``; return the *previous* value."""
+        with self._lock:
+            old = self._value
+            self._value = old + delta
+            return old
+
+    def compare_exchange(self, expected: int, desired: int) -> bool:
+        """CAS: install ``desired`` iff the cell holds ``expected``."""
+        with self._lock:
+            if self._value == expected:
+                self._value = desired
+                return True
+            return False
+
+
+class AtomicRef:
+    """An object-reference cell with ``swap``/``compare_exchange``.
+
+    Comparison is by identity (``is``), matching pointer CAS semantics.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value=None):
+        self._value = value
+        self._lock = _next_stripe()
+
+    def load(self):
+        return self._value
+
+    def store(self, value) -> None:
+        with self._lock:
+            self._value = value
+
+    def swap(self, value):
+        with self._lock:
+            old = self._value
+            self._value = value
+            return old
+
+    def compare_exchange(self, expected, desired) -> bool:
+        with self._lock:
+            if self._value is expected:
+                self._value = desired
+                return True
+            return False
+
+
+def cas_attr(obj, name: str, expected, desired) -> bool:
+    """Compare-exchange on an object attribute (identity comparison).
+
+    Emulates a pointer CAS on a struct field — the operation the paper's
+    cruntime uses to link task nodes without locking.  The stripe lock is
+    selected by the object's identity, so unrelated CAS sites do not
+    contend.
+    """
+    lock = _STRIPES[id(obj) % _NUM_STRIPES]
+    with lock:
+        if getattr(obj, name) is expected:
+            setattr(obj, name, desired)
+            return True
+        return False
+
+
+def atomic_setdefault(table: dict, key, value):
+    """Atomic-swap-style slot creation in a shared table.
+
+    ``dict.setdefault`` is a single C-level operation under the GIL: the
+    first caller installs its value, every later caller gets the winner
+    and discards its own — exactly the paper's "counter creation is done
+    with an atomic swap" protocol.
+    """
+    return table.setdefault(key, value)

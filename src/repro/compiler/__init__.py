@@ -1,0 +1,18 @@
+"""The *Compiled*/*CompiledDT* pipeline (the paper's Cython stage).
+
+``optimize`` receives the already-directive-lowered AST of a function or
+class and returns a faster equivalent:
+
+* untyped (*Compiled*) — AST optimization passes that remove interpreter
+  dispatch overhead (builtin/global localization, constant folding,
+  runtime-call binding), mirroring what Cython achieves on unannotated
+  code;
+* typed (*CompiledDT*) — additionally, ``int``/``float`` annotations
+  seed a type inference over worksharing chunk loops, and loops that
+  type-check as numeric kernels are lowered to NumPy vector code
+  evaluated per chunk, mirroring the native loops typed Cython emits.
+"""
+
+from repro.compiler.pipeline import optimize
+
+__all__ = ["optimize"]

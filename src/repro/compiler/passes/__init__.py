@@ -1,0 +1,1 @@
+"""AST optimization passes for the *Compiled* simulation."""

@@ -1,0 +1,75 @@
+"""Constant folding: evaluate constant expressions at compile time.
+
+Cython folds constant arithmetic while generating C; this pass does the
+bytecode-level analogue.  Only operators with no overloading surprises
+on ``int``/``float``/``str``/``bool`` constants are folded, and any
+evaluation error simply leaves the expression untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+
+_BIN_OPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+    ast.LShift: operator.lshift,
+    ast.RShift: operator.rshift,
+    ast.BitAnd: operator.and_,
+    ast.BitOr: operator.or_,
+    ast.BitXor: operator.xor,
+}
+
+_UNARY_OPS = {
+    ast.USub: operator.neg,
+    ast.UAdd: operator.pos,
+    ast.Invert: operator.invert,
+    ast.Not: operator.not_,
+}
+
+_FOLDABLE = (int, float, bool, str, complex)
+
+
+class FoldConstants(ast.NodeTransformer):
+    """Bottom-up constant folding."""
+
+    def visit_BinOp(self, node: ast.BinOp):
+        self.generic_visit(node)
+        op = _BIN_OPS.get(type(node.op))
+        if op is not None and isinstance(node.left, ast.Constant) \
+                and isinstance(node.right, ast.Constant) \
+                and isinstance(node.left.value, _FOLDABLE) \
+                and isinstance(node.right.value, _FOLDABLE):
+            try:
+                value = op(node.left.value, node.right.value)
+            except Exception:  # noqa: BLE001 - leave runtime errors alone
+                return node
+            if isinstance(value, _FOLDABLE) and not (
+                    isinstance(value, (int, str)) and _too_big(value)):
+                return ast.copy_location(ast.Constant(value=value), node)
+        return node
+
+    def visit_UnaryOp(self, node: ast.UnaryOp):
+        self.generic_visit(node)
+        op = _UNARY_OPS.get(type(node.op))
+        if op is not None and isinstance(node.operand, ast.Constant) \
+                and isinstance(node.operand.value, _FOLDABLE):
+            try:
+                value = op(node.operand.value)
+            except Exception:  # noqa: BLE001
+                return node
+            return ast.copy_location(ast.Constant(value=value), node)
+        return node
+
+
+def _too_big(value) -> bool:
+    """Avoid exploding the code object with huge folded results."""
+    if isinstance(value, int):
+        return value.bit_length() > 256
+    return len(value) > 4096

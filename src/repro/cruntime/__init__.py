@@ -1,0 +1,21 @@
+"""The native runtime simulation (the paper's Cython ``cruntime``).
+
+Per the paper's architecture, the cruntime re-implements only the
+low-level modules — counters, events, task-queue linking, shared-slot
+creation — on top of atomic operations, and reuses every logic module
+from the pure runtime unchanged.  Here that reuse is literal: the same
+:class:`repro.runtime.OmpRuntime` engine runs with the atomics-based
+primitives from :mod:`repro.cruntime.lowlevel`.
+
+The two runtimes keep fully separate per-thread contexts; code bound to
+one must not synchronize with code bound to the other (Section III-B).
+"""
+
+from repro.cruntime.lowlevel import NativeLowLevel
+from repro.runtime.engine import OmpRuntime
+
+#: Singleton native-simulation runtime, bound as ``__omp__`` in
+#: *Hybrid*, *Compiled*, and *CompiledDT* modes.
+cruntime = OmpRuntime(NativeLowLevel())
+
+__all__ = ["NativeLowLevel", "cruntime"]

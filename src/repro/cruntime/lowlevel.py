@@ -1,0 +1,95 @@
+"""Atomics-based low-level primitives (the cruntime's ``.pyx`` modules).
+
+Where the pure runtime coordinates with mutexes, this module uses the
+:mod:`repro.atomics` substrate:
+
+* shared counters are :class:`~repro.atomics.AtomicLong` — dynamic
+  scheduling advances with ``fetch_add``, guided scheduling with a
+  ``compare_exchange`` retry loop;
+* task-queue appends link nodes with a pointer ``compare_exchange``
+  (Michael–Scott style, with tail helping) instead of a queue mutex;
+* shared-slot creation uses the atomic-swap protocol: every late
+  arriver's candidate slot is discarded in favour of the winner's;
+* events are :class:`CEvent`, a slim flag-first event mirroring the
+  paper's direct use of the interpreter-internal ``PyEvent`` (the
+  ``is_set`` fast path never touches a lock).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.atomics import AtomicLong, atomic_setdefault, cas_attr
+
+
+class CEvent:
+    """Event with an atomic-flag fast path (the ``PyEvent`` analogue)."""
+
+    __slots__ = ("_flag", "_cond")
+
+    def __init__(self):
+        self._flag = AtomicLong(0)
+        self._cond = threading.Condition(threading.Lock())
+
+    def is_set(self) -> bool:
+        return self._flag.load() != 0
+
+    def set(self) -> None:
+        if self._flag.swap(1) == 0:
+            with self._cond:
+                self._cond.notify_all()
+
+    def clear(self) -> None:
+        self._flag.store(0)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        if self._flag.load() != 0:
+            return True
+        with self._cond:
+            if self._flag.load() != 0:
+                return True
+            self._cond.wait(timeout)
+        return self._flag.load() != 0
+
+
+class NativeLowLevel:
+    """Primitives for the native-simulation runtime."""
+
+    name = "cruntime"
+
+    @staticmethod
+    def make_mutex():
+        # Locks that must block (critical sections, the OpenMP lock API)
+        # are native pthread mutexes in the real cruntime too.
+        return threading.Lock()
+
+    @staticmethod
+    def make_event():
+        return CEvent()
+
+    @staticmethod
+    def make_counter(initial: int = 0):
+        return AtomicLong(initial)
+
+    @staticmethod
+    def queue_append(queue, node) -> None:
+        """Lock-free append: CAS the tail's next-reference, helping a
+        stale tail forward when the CAS loses."""
+        while True:
+            tail = queue.tail
+            nxt = tail.next
+            if nxt is None:
+                if cas_attr(tail, "next", None, node):
+                    break
+            else:
+                # Help: swing the (advisory) tail pointer forward.
+                queue.tail = nxt
+        queue.tail = node
+
+    @staticmethod
+    def slot_get_or_create(table: dict, lock, key, factory):
+        """Atomic-swap slot creation; the loser's slot is discarded."""
+        slot = table.get(key)
+        if slot is not None:
+            return slot
+        return atomic_setdefault(table, key, factory())

@@ -1,0 +1,237 @@
+"""The ``@omp`` decorator driver: source → AST → transform → exec.
+
+As described in the paper (Section III-A): the decorator extracts the
+target's source with :mod:`inspect`, builds an AST, processes every
+directive, strips the decorator (so the result is not reprocessed),
+compiles the modified tree, and executes it so the transformed object
+replaces the original.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import inspect
+import itertools
+import os
+import sys
+import textwrap
+
+from repro.errors import OmpTransformError
+from repro.modes import Mode, default_mode
+from repro.transform import transform_function_def
+from repro.transform.context import TransformContext
+
+_HANDLE_COUNTER = itertools.count()
+
+
+def runtime_for(mode: Mode):
+    """The runtime instance a mode binds as ``__omp__``."""
+    if mode is Mode.PURE:
+        from repro.runtime import pure_runtime
+        return pure_runtime
+    from repro.cruntime import cruntime
+    return cruntime
+
+
+def _is_omp_decorator(node: ast.expr) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Attribute):
+        return target.attr == "omp"
+    return isinstance(target, ast.Name) and target.id == "omp"
+
+
+def _collect_identifiers(tree: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.arg):
+            names.add(node.arg)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            names.add(node.name)
+    return names
+
+
+def _get_source_tree(target) -> ast.AST:
+    try:
+        source = textwrap.dedent(inspect.getsource(target))
+    except (TypeError, OSError) as error:
+        raise OmpTransformError(
+            f"cannot retrieve the source of {target!r}; the omp decorator "
+            f"needs file-backed source code") from error
+    return ast.parse(source)
+
+
+def transform(target, mode: Mode | str | int | None = None, *,
+              dump: bool = False, debug: bool = False,
+              live_globals: bool = False, cache: str | None = None,
+              force: bool = False, options: dict | None = None):
+    """Transform a function or class for the given execution mode.
+
+    ``live_globals=True`` executes the result in the target's own module
+    namespace (decorator behaviour); otherwise a snapshot namespace is
+    used so several mode variants of one function can coexist.
+
+    ``cache`` names a directory of generated sources, keyed by the
+    original source text and mode: a hit skips the whole transformation
+    (the paper's ``cache`` decorator option); ``force`` reprocesses and
+    rewrites regardless.
+    """
+    mode = Mode.parse(mode) if mode is not None else default_mode()
+    if inspect.isfunction(target):
+        if target.__code__.co_freevars:
+            raise OmpTransformError(
+                f"{target.__qualname__} closes over "
+                f"{target.__code__.co_freevars}; the omp decorator only "
+                f"supports module-level functions and methods")
+        globalns = target.__globals__
+    elif inspect.isclass(target):
+        globalns = sys.modules[target.__module__].__dict__
+    else:
+        raise OmpTransformError(
+            f"omp can only decorate functions and classes, not {target!r}")
+
+    if cache and not force:
+        cached = _load_cache(cache, target, mode, globalns, live_globals)
+        if cached is not None:
+            return cached
+
+    tree = _get_source_tree(target)
+    node = tree.body[0]
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+        raise OmpTransformError(
+            f"cannot transform {target!r}: its source is not a plain "
+            f"def/class statement (lambdas are not supported)")
+    node.decorator_list = []
+
+    rt_name = f"__omp{next(_HANDLE_COUNTER)}__"
+    ctx = TransformContext(
+        rt_name=rt_name,
+        module_globals=set(globalns),
+        taken_names=_collect_identifiers(tree),
+        filename=f"<omp4py:{getattr(target, '__qualname__', node.name)}>",
+        module_name=getattr(target, "__module__", "__main__"))
+
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        transform_function_def(node, ctx)
+    else:
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                transform_function_def(item, ctx)
+
+    if mode.compiles_user_code:
+        from repro.compiler import optimize
+        node = optimize(node, ctx, typed=(mode is Mode.COMPILED_DT),
+                        options=options or {}, debug=debug)
+
+    module = ast.Module(body=[node], type_ignores=[])
+    ast.fix_missing_locations(module)
+    generated = ast.unparse(module)
+    if dump:
+        print(f"# --- omp4py generated code ({mode.value}) ---",
+              file=sys.stderr)
+        print(generated, file=sys.stderr)
+    if cache:
+        _write_cache(cache, target, mode, generated, force,
+                     rt_name=rt_name,
+                     needs_kernels=getattr(ctx, "needs_kernels", False))
+
+    code = compile(module, filename=ctx.filename, mode="exec")
+    namespace = globalns if live_globals else dict(globalns)
+    namespace[rt_name] = runtime_for(mode)
+    if getattr(ctx, "needs_kernels", False):
+        from repro.compiler import kernels
+        from repro.compiler.vectorize import KERNEL_HANDLE
+        namespace[KERNEL_HANDLE] = kernels
+    _MISSING = object()
+    previous = namespace.get(node.name, _MISSING) if live_globals else None
+    exec(code, namespace)  # noqa: S102 - the whole point of the decorator
+    result = namespace[node.name]
+    if live_globals:
+        # Don't clobber the module binding here: the decorator statement
+        # itself rebinds the name to our return value, and a plain
+        # ``omp(fn)`` call must leave the original untouched.
+        if previous is _MISSING:
+            del namespace[node.name]
+        else:
+            namespace[node.name] = previous
+    try:
+        result.__omp_mode__ = mode
+        result.__omp_source__ = generated
+    except (AttributeError, TypeError):  # pragma: no cover - exotic targets
+        pass
+    return result
+
+
+def _cache_path(cache_dir: str, target, mode: Mode) -> str:
+    """Key the cache on the original source, so edits invalidate."""
+    try:
+        source = inspect.getsource(target)
+    except (TypeError, OSError):
+        source = repr(target)
+    digest = hashlib.sha256(
+        f"{getattr(target, '__qualname__', '?')}:{mode.value}:"
+        f"{source}".encode()).hexdigest()[:16]
+    return os.path.join(cache_dir, f"omp4py_{digest}.py")
+
+
+def _write_cache(cache_dir: str, target, mode: Mode, generated: str,
+                 force: bool, *, rt_name: str,
+                 needs_kernels: bool) -> None:
+    """Persist the generated source (the decorator's ``cache`` option).
+
+    The header records what the loader must rebind: the runtime handle
+    name baked into the generated code and whether the kernel namespace
+    is referenced.
+    """
+    os.makedirs(cache_dir, exist_ok=True)
+    path = _cache_path(cache_dir, target, mode)
+    if force or not os.path.exists(path):
+        header = (f"# omp4py-cache rt={rt_name} "
+                  f"kernels={int(needs_kernels)} mode={mode.value}\n")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(header + generated)
+
+
+def _load_cache(cache_dir: str, target, mode: Mode, globalns: dict,
+                live_globals: bool):
+    """Rebuild the transformed object from a cached generated source."""
+    path = _cache_path(cache_dir, target, mode)
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    header, _newline, body = text.partition("\n")
+    try:
+        fields = dict(part.split("=", 1) for part in header.split()
+                      if "=" in part)
+        rt_name = fields["rt"]
+        code = compile(body, filename=path, mode="exec")
+    except (KeyError, ValueError, SyntaxError):
+        return None  # corrupted cache entry: fall through to retransform
+    namespace = globalns if live_globals else dict(globalns)
+    namespace[rt_name] = runtime_for(mode)
+    if fields.get("kernels") == "1":
+        from repro.compiler import kernels
+        from repro.compiler.vectorize import KERNEL_HANDLE
+        namespace[KERNEL_HANDLE] = kernels
+    name = getattr(target, "__name__", None)
+    _MISSING = object()
+    previous = namespace.get(name, _MISSING) if live_globals else None
+    exec(code, namespace)  # noqa: S102
+    result = namespace[name]
+    if live_globals:
+        if previous is _MISSING:
+            del namespace[name]
+        else:
+            namespace[name] = previous
+    try:
+        result.__omp_mode__ = mode
+        result.__omp_source__ = body
+        result.__omp_cached__ = True
+    except (AttributeError, TypeError):  # pragma: no cover
+        pass
+    return result

@@ -1,0 +1,13 @@
+"""The OpenMP directive language: lexer, declarative spec, and parser.
+
+Directive strings such as ``"parallel for reduction(+:x) schedule(dynamic,
+4)"`` are tokenized by :mod:`repro.directives.lexer`, matched against the
+declarative registry in :mod:`repro.directives.spec`, and turned into the
+typed model of :mod:`repro.directives.model` by
+:mod:`repro.directives.parser`.
+"""
+
+from repro.directives.model import Clause, Directive
+from repro.directives.parser import parse_directive
+
+__all__ = ["Clause", "Directive", "parse_directive"]

@@ -1,0 +1,160 @@
+"""Tokenizer for OpenMP directive strings.
+
+The directive sub-language is tiny: identifiers, integers, a handful of
+reduction operator symbols, parentheses, and separators.  Expression
+arguments (``if(n > 100)``, ``num_threads(2 * k)``, ``schedule(dynamic,
+n // 10)``) are *not* tokenized here — the parser captures them as raw
+balanced-parenthesis text and defers to :func:`ast.parse`, exactly the
+split a C OpenMP front end makes between pragma tokens and C expressions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import re
+
+from repro.errors import OmpSyntaxError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    COLON = ":"
+    SEMICOLON = ";"
+    OPERATOR = "operator"
+    #: Any other character.  Never accepted by the directive grammar, but
+    #: tolerated by the lexer because expression arguments (raw-captured
+    #: straight from the character stream) may contain arbitrary Python.
+    OTHER = "other"
+    END = "end"
+
+
+#: Multi-character operators first so maximal munch works.
+_OPERATORS = ("&&", "||", "+", "*", "-", "&", "|", "^")
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<number>\d+)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<colon>:)
+  | (?P<semicolon>;)
+  | (?P<operator>&&|\|\||[+*\-&|^])
+  | (?P<other>\S)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    pos: int
+
+    def is_ident(self, *names: str) -> bool:
+        return self.kind is TokenKind.IDENT and (
+            not names or self.text in names)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a directive string, raising on unknown characters."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match.lastgroup != "ws":
+            kind = {
+                "ident": TokenKind.IDENT,
+                "number": TokenKind.NUMBER,
+                "lparen": TokenKind.LPAREN,
+                "rparen": TokenKind.RPAREN,
+                "comma": TokenKind.COMMA,
+                "colon": TokenKind.COLON,
+                "semicolon": TokenKind.SEMICOLON,
+                "operator": TokenKind.OPERATOR,
+                "other": TokenKind.OTHER,
+            }[match.lastgroup]
+            tokens.append(Token(kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(Token(TokenKind.END, "", len(text)))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the lookahead the parser needs."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self._tokens = tokenize(text)
+        self._index = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.END:
+            self._index += 1
+        return token
+
+    def expect(self, kind: TokenKind, what: str) -> Token:
+        if self.current.kind is not kind:
+            found = self.current.text or "end of directive"
+            raise OmpSyntaxError(f"expected {what}, found {found!r}",
+                                 directive=self.text)
+        return self.advance()
+
+    def at_end(self) -> bool:
+        return self.current.kind is TokenKind.END
+
+    def raw_until_balanced_rparen(self) -> str:
+        """Consume raw text up to the ``)`` matching an already-consumed
+        ``(`` and return it (the ``)`` is consumed, not included).
+
+        Used for expression arguments: the returned substring is later
+        handed to :func:`ast.parse`.  Re-lexes from the character stream
+        so arbitrary Python expressions survive untouched.
+        """
+        start = self.current.pos
+        depth = 1
+        pos = start
+        text = self.text
+        while pos < len(text):
+            ch = text[pos]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif ch in "\"'":
+                # Skip string literals so parentheses inside them are
+                # not counted.
+                quote = ch
+                pos += 1
+                while pos < len(text) and text[pos] != quote:
+                    pos += 2 if text[pos] == "\\" else 1
+            pos += 1
+        else:
+            raise OmpSyntaxError("unbalanced parentheses",
+                                 directive=self.text)
+        raw = text[start:pos]
+        # Re-synchronise the token cursor to just after the ')'.
+        self._tokens = tokenize(text[pos + 1:])
+        for token in self._tokens:
+            object.__setattr__(token, "pos", token.pos + pos + 1)
+        self._index = 0
+        return raw

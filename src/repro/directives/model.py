@@ -1,0 +1,85 @@
+"""Typed model of parsed directives and clauses.
+
+A parsed directive is immutable data; the transformer consumes it without
+re-reading the original string.  Clause arguments come in three shapes,
+mirroring the OpenMP grammar:
+
+* variable lists — ``private(a, b)`` → ``vars=("a", "b")``
+* expressions   — ``if(n > 10)`` → ``expr="n > 10"`` (raw Python text)
+* structured    — ``reduction(+: x, y)`` → ``op="+", vars=("x", "y")``;
+  ``schedule(dynamic, 4)`` → ``op="dynamic", expr="4"``;
+  ``default(none)`` → ``op="none"``
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Clause:
+    """One clause instance on a directive."""
+
+    name: str
+    #: Identifier-like selector: reduction operator, schedule kind, or
+    #: default policy.  ``None`` when the clause has no selector.
+    op: str | None = None
+    #: Variable list, empty when the clause takes none.
+    vars: tuple[str, ...] = ()
+    #: Raw Python expression text, ``None`` when the clause takes none.
+    expr: str | None = None
+
+    def __str__(self) -> str:
+        parts = []
+        if self.op is not None:
+            parts.append(self.op)
+        if self.vars:
+            inner = ", ".join(self.vars)
+            parts.append(f"{inner}")
+        if self.expr is not None:
+            parts.append(self.expr)
+        if not parts:
+            return self.name
+        if self.name == "reduction":
+            return f"reduction({self.op}: {', '.join(self.vars)})"
+        return f"{self.name}({', '.join(parts)})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Directive:
+    """A fully parsed and validated directive."""
+
+    name: str
+    clauses: tuple[Clause, ...] = ()
+    #: Direct argument of directives like ``critical(name)`` or
+    #: ``flush(a, b)``; a tuple of identifiers (possibly empty).
+    arguments: tuple[str, ...] = ()
+    #: The original directive string, for diagnostics.
+    source: str = ""
+
+    def clause(self, name: str) -> Clause | None:
+        """First clause with the given name, or ``None``."""
+        for clause in self.clauses:
+            if clause.name == name:
+                return clause
+        return None
+
+    def all_clauses(self, name: str) -> list[Clause]:
+        return [c for c in self.clauses if c.name == name]
+
+    def has_clause(self, name: str) -> bool:
+        return self.clause(name) is not None
+
+    def clause_vars(self, name: str) -> tuple[str, ...]:
+        """Union of the variable lists of every clause with this name."""
+        out: list[str] = []
+        for clause in self.all_clauses(name):
+            out.extend(clause.vars)
+        return tuple(out)
+
+    def __str__(self) -> str:
+        parts = [self.name]
+        if self.arguments:
+            parts[0] += f"({', '.join(self.arguments)})"
+        parts.extend(str(c) for c in self.clauses)
+        return " ".join(parts)

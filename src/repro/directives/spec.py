@@ -1,0 +1,179 @@
+"""Declarative registry of OpenMP 3.0 directives and clauses.
+
+Every directive OMP4Py supports is described here once: which clauses it
+accepts, how each clause's argument is shaped, which clauses may repeat,
+and which are mutually exclusive.  The parser and the transformer both
+consult this table, so adding a construct is a single-table change plus a
+lowering rule.
+
+Coverage matches the paper: the full OpenMP 3.0 directive set (Section
+III), ``declare reduction`` from 4.0, the ``default(private |
+firstprivate)`` variants from later standards, and the optional argument
+form of ``nowait`` (Section V).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class ArgShape(enum.Enum):
+    """How a clause's parenthesised argument is parsed."""
+
+    NONE = "none"              # barrier-style bare clause
+    VARLIST = "varlist"        # private(a, b)
+    EXPR = "expr"              # if(n > 10), num_threads(2 * k)
+    OPT_EXPR = "opt_expr"      # nowait / nowait(expr) — 6.0 syntax
+    REDUCTION = "reduction"    # reduction(op: list)
+    DEPEND = "depend"          # depend(in|out|inout: list)
+    SCHEDULE = "schedule"      # schedule(kind[, chunk-expr])
+    DEFAULT = "default"        # default(shared|none|private|firstprivate)
+    DECLARE_REDUCTION = "declare_reduction"  # (ident : combiner) ...
+
+
+@dataclasses.dataclass(frozen=True)
+class ClauseSpec:
+    name: str
+    shape: ArgShape
+    #: May the clause appear more than once on a directive?
+    repeatable: bool = False
+
+
+#: Clause vocabulary.  Data-sharing clauses are repeatable like in C.
+CLAUSES: dict[str, ClauseSpec] = {
+    spec.name: spec for spec in (
+        ClauseSpec("if", ArgShape.EXPR),
+        ClauseSpec("num_threads", ArgShape.EXPR),
+        ClauseSpec("default", ArgShape.DEFAULT),
+        ClauseSpec("private", ArgShape.VARLIST, repeatable=True),
+        ClauseSpec("firstprivate", ArgShape.VARLIST, repeatable=True),
+        ClauseSpec("lastprivate", ArgShape.VARLIST, repeatable=True),
+        ClauseSpec("shared", ArgShape.VARLIST, repeatable=True),
+        ClauseSpec("copyin", ArgShape.VARLIST, repeatable=True),
+        ClauseSpec("copyprivate", ArgShape.VARLIST, repeatable=True),
+        ClauseSpec("reduction", ArgShape.REDUCTION, repeatable=True),
+        ClauseSpec("schedule", ArgShape.SCHEDULE),
+        ClauseSpec("collapse", ArgShape.EXPR),
+        ClauseSpec("ordered", ArgShape.NONE),
+        ClauseSpec("nowait", ArgShape.OPT_EXPR),
+        ClauseSpec("untied", ArgShape.NONE),
+        ClauseSpec("initializer", ArgShape.EXPR),
+        # Task dependences (OpenMP 4.0; prototyped per the paper's
+        # Section V sketch: object identity as the dependence key).
+        ClauseSpec("depend", ArgShape.DEPEND, repeatable=True),
+        # taskloop (OpenMP 4.5; prototyped per the paper's Section V).
+        ClauseSpec("grainsize", ArgShape.EXPR),
+        ClauseSpec("num_tasks", ArgShape.EXPR),
+        ClauseSpec("nogroup", ArgShape.NONE),
+    )
+}
+
+_DATA_SHARING = ("private", "firstprivate", "shared", "default",
+                 "reduction", "copyin")
+
+
+@dataclasses.dataclass(frozen=True)
+class DirectiveSpec:
+    name: str
+    clauses: tuple[str, ...] = ()
+    #: Directives taking a direct parenthesised identifier list, e.g.
+    #: ``critical(name)``, ``flush(a, b)``, ``threadprivate(x)``.
+    takes_arguments: bool = False
+    #: Must the direct argument list be non-empty?
+    requires_arguments: bool = False
+    #: Maximum number of direct arguments (None = unlimited).
+    max_arguments: int | None = None
+    #: Is this a standalone directive (bare ``omp("...")`` call) rather
+    #: than one introducing a structured block (``with omp("..."):``)?
+    standalone: bool = False
+    #: Clause pairs that cannot coexist.
+    exclusive: tuple[tuple[str, str], ...] = ()
+
+
+DIRECTIVES: dict[str, DirectiveSpec] = {
+    spec.name: spec for spec in (
+        DirectiveSpec(
+            "parallel",
+            clauses=("if", "num_threads", *_DATA_SHARING),
+        ),
+        DirectiveSpec(
+            "for",
+            clauses=("private", "firstprivate", "lastprivate", "reduction",
+                     "schedule", "collapse", "ordered", "nowait"),
+        ),
+        DirectiveSpec(
+            "sections",
+            clauses=("private", "firstprivate", "lastprivate", "reduction",
+                     "nowait"),
+        ),
+        DirectiveSpec("section"),
+        DirectiveSpec(
+            "single",
+            clauses=("private", "firstprivate", "copyprivate", "nowait"),
+            exclusive=(("copyprivate", "nowait"),),
+        ),
+        DirectiveSpec(
+            "task",
+            clauses=("if", "untied", "default", "private", "firstprivate",
+                     "shared", "depend"),
+        ),
+        DirectiveSpec("master"),
+        DirectiveSpec("critical", takes_arguments=True, max_arguments=1),
+        DirectiveSpec("barrier", standalone=True),
+        DirectiveSpec("taskwait", standalone=True),
+        DirectiveSpec("atomic"),
+        DirectiveSpec("flush", takes_arguments=True, standalone=True),
+        DirectiveSpec("ordered"),
+        DirectiveSpec("threadprivate", takes_arguments=True,
+                      requires_arguments=True, standalone=True),
+        DirectiveSpec(
+            "parallel for",
+            clauses=("if", "num_threads", *_DATA_SHARING, "lastprivate",
+                     "schedule", "collapse", "ordered"),
+        ),
+        DirectiveSpec(
+            "parallel sections",
+            clauses=("if", "num_threads", *_DATA_SHARING, "lastprivate"),
+        ),
+        DirectiveSpec(
+            "declare reduction",
+            clauses=("initializer",),
+            takes_arguments=True,   # parsed specially: (ident : combiner)
+            standalone=True,
+        ),
+        # Future-work prototype (paper Section V: "directives such as
+        # teams or taskloop are relatively straightforward since their
+        # semantics build on existing constructs").
+        DirectiveSpec(
+            "taskloop",
+            clauses=("if", "untied", "default", "private", "firstprivate",
+                     "shared", "grainsize", "num_tasks", "nogroup"),
+            exclusive=(("grainsize", "num_tasks"),),
+        ),
+    )
+}
+
+#: Longest directive names first so "parallel for" beats "parallel".
+_DIRECTIVES_BY_LENGTH = sorted(
+    DIRECTIVES, key=lambda name: -len(name.split()))
+
+
+def match_directive(words: list[str]) -> str | None:
+    """Longest directive name matching a prefix of ``words``.
+
+    Word separators in combined directives may be spaces or (OpenMP 6.0
+    syntax, supported per the paper) underscores, so ``parallel_for`` has
+    already been split into ``["parallel", "for"]`` by the caller.
+    """
+    for name in _DIRECTIVES_BY_LENGTH:
+        parts = name.split()
+        if words[: len(parts)] == parts:
+            return name
+    return None
+
+
+#: Reduction operators of OpenMP 3.0, adapted to Python spelling.  The
+#: C logical/bitwise forms and the Python keywords are both accepted.
+REDUCTION_OPERATORS = frozenset(
+    {"+", "*", "-", "&", "|", "^", "&&", "||", "and", "or", "min", "max"})

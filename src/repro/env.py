@@ -1,0 +1,121 @@
+"""Environment-variable handling for OpenMP ICVs and decorator defaults.
+
+Two families of variables are honoured, mirroring the paper:
+
+* ``OMP_*`` — the standard OpenMP environment variables that seed the
+  initial values of internal control variables (ICVs):
+  ``OMP_NUM_THREADS``, ``OMP_SCHEDULE``, ``OMP_DYNAMIC``, ``OMP_NESTED``,
+  ``OMP_THREAD_LIMIT``, ``OMP_MAX_ACTIVE_LEVELS``, ``OMP_STACKSIZE`` and
+  ``OMP_WAIT_POLICY`` (the last two are accepted and recorded but have no
+  effect on Python threads).
+* ``OMP4PY_*`` — defaults for the ``omp`` decorator arguments
+  (``OMP4PY_CACHE``, ``OMP4PY_DUMP``, ``OMP4PY_DEBUG``, ``OMP4PY_COMPILE``,
+  ``OMP4PY_FORCE``, ``OMP4PY_MODE``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import OmpError
+
+#: Scheduling kinds accepted by ``OMP_SCHEDULE`` and ``schedule(...)``.
+SCHEDULE_KINDS = ("static", "dynamic", "guided", "auto", "runtime")
+
+_TRUE_STRINGS = frozenset({"1", "true", "yes", "on"})
+_FALSE_STRINGS = frozenset({"0", "false", "no", "off"})
+
+
+def _parse_bool(name: str, value: str) -> bool:
+    lowered = value.strip().lower()
+    if lowered in _TRUE_STRINGS:
+        return True
+    if lowered in _FALSE_STRINGS:
+        return False
+    raise OmpError(f"{name} must be a boolean value, got {value!r}")
+
+
+def _parse_positive_int(name: str, value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise OmpError(f"{name} must be an integer, got {value!r}") from None
+    if parsed <= 0:
+        raise OmpError(f"{name} must be positive, got {parsed}")
+    return parsed
+
+
+def parse_schedule(value: str) -> tuple[str, int | None]:
+    """Parse an ``OMP_SCHEDULE``-style string like ``"dynamic,4"``.
+
+    Returns ``(kind, chunk)`` where ``chunk`` is ``None`` when omitted.
+    ``runtime`` is rejected here because an ICV cannot point at itself.
+    """
+    text = value.strip().lower()
+    chunk: int | None = None
+    if "," in text:
+        kind_text, chunk_text = text.split(",", 1)
+        kind = kind_text.strip()
+        chunk = _parse_positive_int("OMP_SCHEDULE chunk", chunk_text.strip())
+    else:
+        kind = text
+    if kind not in SCHEDULE_KINDS or kind == "runtime":
+        raise OmpError(f"invalid OMP_SCHEDULE kind {kind!r}")
+    return kind, chunk
+
+
+def default_num_threads() -> int:
+    """Initial ``nthreads-var``: ``OMP_NUM_THREADS`` or the CPU count."""
+    raw = os.environ.get("OMP_NUM_THREADS")
+    if raw:
+        # OpenMP allows a comma-separated list (one value per nesting
+        # level); we honour the first entry like most implementations.
+        return _parse_positive_int("OMP_NUM_THREADS", raw.split(",")[0])
+    return os.cpu_count() or 1
+
+
+def default_schedule() -> tuple[str, int | None]:
+    """Initial ``run-sched-var`` from ``OMP_SCHEDULE`` (default static)."""
+    raw = os.environ.get("OMP_SCHEDULE")
+    if raw:
+        return parse_schedule(raw)
+    return "static", None
+
+
+def default_dynamic() -> bool:
+    raw = os.environ.get("OMP_DYNAMIC")
+    return _parse_bool("OMP_DYNAMIC", raw) if raw else False
+
+
+def default_nested() -> bool:
+    raw = os.environ.get("OMP_NESTED")
+    return _parse_bool("OMP_NESTED", raw) if raw else False
+
+
+def default_thread_limit() -> int:
+    raw = os.environ.get("OMP_THREAD_LIMIT")
+    if raw:
+        return _parse_positive_int("OMP_THREAD_LIMIT", raw)
+    return 2**31 - 1
+
+
+def default_max_active_levels() -> int:
+    raw = os.environ.get("OMP_MAX_ACTIVE_LEVELS")
+    if raw:
+        return _parse_positive_int("OMP_MAX_ACTIVE_LEVELS", raw)
+    return 2**31 - 1
+
+
+def decorator_default(name: str, fallback):
+    """Default value of an ``omp`` decorator argument.
+
+    ``name`` is the lowercase argument name; the environment variable is
+    ``OMP4PY_<NAME>``.  Booleans are parsed leniently; strings pass
+    through unchanged.
+    """
+    raw = os.environ.get("OMP4PY_" + name.upper())
+    if raw is None:
+        return fallback
+    if isinstance(fallback, bool):
+        return _parse_bool("OMP4PY_" + name.upper(), raw)
+    return raw

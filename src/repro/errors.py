@@ -1,0 +1,56 @@
+"""Exception hierarchy for the OMP4Py reproduction.
+
+The paper specifies that malformed directives raise a ``SyntaxError`` at
+decoration time, while misuse detected during execution (for example a
+worksharing construct outside a parallel region when one is required)
+surfaces as a runtime error.  We keep a small, explicit hierarchy so user
+code can catch precisely what it cares about.
+"""
+
+from __future__ import annotations
+
+
+class OmpError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class OmpSyntaxError(OmpError, SyntaxError):
+    """A directive string or its placement in the source is malformed.
+
+    Raised while the ``@omp`` decorator processes a function or class.
+    ``directive`` carries the offending directive text and ``lineno`` the
+    line inside the decorated object's source, when known.
+    """
+
+    def __init__(self, message: str, directive: str | None = None,
+                 lineno: int | None = None):
+        location = ""
+        if directive is not None:
+            location += f" in directive {directive!r}"
+        if lineno is not None:
+            location += f" (line {lineno})"
+        super().__init__(message + location)
+        self.directive = directive
+        self.lineno = lineno
+
+
+class OmpRuntimeError(OmpError, RuntimeError):
+    """The runtime detected a non-conforming situation during execution."""
+
+
+class OmpTransformError(OmpError):
+    """The decorator could not process the target object.
+
+    Typical causes: the source is unavailable (interactive definitions),
+    the function closes over free variables, or an unsupported construct
+    appears inside a structured block.
+    """
+
+
+class OmpCompileError(OmpError):
+    """The *Compiled*/*CompiledDT* pipeline rejected the code.
+
+    The native-code simulation is conservative: anything it cannot prove
+    safe falls back to interpreted execution instead of raising, so this
+    error only appears for explicit misuse of compiler options.
+    """

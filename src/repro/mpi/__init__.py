@@ -1,0 +1,16 @@
+"""Miniature MPI implementation (the mpi4py substitute).
+
+The paper's hybrid MPI/OpenMP Jacobi needs the MPI *semantics* — rank
+decomposition, ``Allgather`` of the solution vector, ``Allreduce`` of
+the residual — under OpenMP threads.  This package provides an
+in-process cluster: each rank is a thread with its own communicator
+handle, and since every rank is an *external* thread to the OMP4Py
+runtimes, each gets its own independent OpenMP context — exactly the
+one-process-per-node model of the paper's Fig. 8 (see DESIGN.md for the
+substitution rationale).
+"""
+
+from repro.mpi.comm import Intracomm, comm_world
+from repro.mpi.launcher import mpirun
+
+__all__ = ["Intracomm", "comm_world", "mpirun"]

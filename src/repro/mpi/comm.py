@@ -1,0 +1,180 @@
+"""Communicators: point-to-point and collective operations.
+
+The object API mirrors mpi4py's lowercase convenience methods (``send``/
+``recv``/``bcast``/``scatter``/``gather``/``allgather``/``allreduce``/
+``barrier``) plus uppercase ``Allgather``/``Allreduce`` buffer variants
+for NumPy arrays, which is what the hybrid Jacobi uses.
+
+Collectives are built on a reusable :class:`threading.Barrier` plus a
+shared slot array; the double-barrier pattern (publish → read) keeps
+successive collectives from racing on the slots.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+import numpy as np
+
+from repro.errors import OmpRuntimeError
+
+
+class _Cluster:
+    """Shared state of one in-process MPI world."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.slots: list = [None] * size
+        self.mailboxes = {
+            (source, dest): queue.Queue()
+            for source in range(size) for dest in range(size)
+        }
+
+
+class Intracomm:
+    """One rank's view of the cluster (mpi4py ``Intracomm`` analogue)."""
+
+    def __init__(self, cluster: _Cluster, rank: int):
+        self._cluster = cluster
+        self._rank = rank
+
+    # mpi4py spells these as methods; properties keep call sites short.
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._cluster.size
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._cluster.size
+
+    # -- point-to-point -------------------------------------------------
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        self._cluster.mailboxes[self._rank, dest].put((tag, obj))
+
+    def recv(self, source: int, tag: int = 0):
+        mailbox = self._cluster.mailboxes[source, self._rank]
+        received_tag, obj = mailbox.get()
+        if received_tag != tag:
+            raise OmpRuntimeError(
+                f"tag mismatch: expected {tag}, got {received_tag}")
+        return obj
+
+    # -- collectives ----------------------------------------------------
+
+    def barrier(self) -> None:
+        self._cluster.barrier.wait()
+
+    Barrier = barrier
+
+    def bcast(self, obj, root: int = 0):
+        cluster = self._cluster
+        if self._rank == root:
+            cluster.slots[root] = obj
+        cluster.barrier.wait()
+        value = cluster.slots[root]
+        cluster.barrier.wait()
+        return value
+
+    def scatter(self, values, root: int = 0):
+        cluster = self._cluster
+        if self._rank == root:
+            if len(values) != cluster.size:
+                raise OmpRuntimeError(
+                    f"scatter needs exactly {cluster.size} items")
+            cluster.slots[:] = list(values)
+        cluster.barrier.wait()
+        value = cluster.slots[self._rank]
+        cluster.barrier.wait()
+        return value
+
+    def gather(self, value, root: int = 0):
+        everything = self.allgather(value)
+        return everything if self._rank == root else None
+
+    def allgather(self, value) -> list:
+        cluster = self._cluster
+        cluster.slots[self._rank] = value
+        cluster.barrier.wait()
+        result = list(cluster.slots)
+        cluster.barrier.wait()
+        return result
+
+    def reduce(self, value, op=None, root: int = 0):
+        result = self.allreduce(value, op)
+        return result if self._rank == root else None
+
+    def allreduce(self, value, op=None):
+        op = op if op is not None else _sum_op
+        parts = self.allgather(value)
+        result = parts[0]
+        for part in parts[1:]:
+            result = op(result, part)
+        return result
+
+    # -- NumPy buffer variants (what mpi4py calls the uppercase API) ----
+
+    def Allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+        """Concatenate equal-size blocks from all ranks into recvbuf."""
+        parts = self.allgather(np.asarray(sendbuf))
+        flat = np.concatenate([np.ravel(part) for part in parts])
+        if flat.shape != np.ravel(recvbuf).shape:
+            raise OmpRuntimeError(
+                f"Allgather size mismatch: {flat.size} != {recvbuf.size}")
+        np.copyto(recvbuf, flat.reshape(recvbuf.shape))
+
+    def Allgatherv(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+        """Variable-size block variant (block sizes may differ)."""
+        parts = self.allgather(np.asarray(sendbuf))
+        flat = np.concatenate([np.ravel(part) for part in parts])
+        if flat.size != recvbuf.size:
+            raise OmpRuntimeError(
+                f"Allgatherv size mismatch: {flat.size} != {recvbuf.size}")
+        np.copyto(recvbuf, flat.reshape(recvbuf.shape))
+
+    def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                  op=None) -> None:
+        op = op if op is not None else _sum_op
+        parts = self.allgather(np.asarray(sendbuf))
+        result = parts[0].copy()
+        for part in parts[1:]:
+            result = op(result, part)
+        np.copyto(recvbuf, result)
+
+
+def _sum_op(left, right):
+    return left + right
+
+
+#: Built-in reduction operations, mirroring ``mpi4py.MPI.SUM`` etc.
+SUM = _sum_op
+MAX = max
+MIN = min
+
+
+def PROD(left, right):
+    return left * right
+
+
+_tls = threading.local()
+
+
+def comm_world() -> Intracomm:
+    """The calling rank's communicator (inside :func:`mpirun` only)."""
+    comm = getattr(_tls, "comm", None)
+    if comm is None:
+        raise OmpRuntimeError(
+            "comm_world() is only available inside an mpirun launch")
+    return comm
+
+
+def _set_comm(comm: Intracomm | None) -> None:
+    _tls.comm = comm

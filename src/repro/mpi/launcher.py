@@ -1,0 +1,51 @@
+"""The ``mpirun`` analogue: launch ranks as threads.
+
+Each rank thread receives its own :class:`Intracomm` both via
+``comm_world()`` and as the first argument of the rank main function.
+Exceptions in any rank abort the launch and re-raise at the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import OmpRuntimeError
+from repro.mpi.comm import Intracomm, _Cluster, _set_comm
+
+
+def mpirun(nprocs: int, main, *args, **kwargs) -> list:
+    """Run ``main(comm, *args, **kwargs)`` on ``nprocs`` ranks.
+
+    Returns the list of per-rank return values, ordered by rank.
+    """
+    if nprocs < 1:
+        raise OmpRuntimeError("mpirun needs at least one rank")
+    cluster = _Cluster(nprocs)
+    results: list = [None] * nprocs
+    errors: list = []
+    errors_lock = threading.Lock()
+
+    def rank_main(rank: int) -> None:
+        comm = Intracomm(cluster, rank)
+        _set_comm(comm)
+        try:
+            results[rank] = main(comm, *args, **kwargs)
+        except BaseException as error:  # noqa: BLE001 - reported below
+            with errors_lock:
+                errors.append((rank, error))
+            # Release peers stuck in collectives.
+            cluster.barrier.abort()
+        finally:
+            _set_comm(None)
+
+    threads = [threading.Thread(target=rank_main, args=(rank,),
+                                name=f"mpi-rank-{rank}")
+               for rank in range(nprocs)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        rank, error = errors[0]
+        raise OmpRuntimeError(f"rank {rank} failed") from error
+    return results

@@ -1,0 +1,20 @@
+"""PyOMP baseline simulation (the paper's Numba-based comparator).
+
+PyOMP compiles ``@njit`` functions with Numba and supports OpenMP
+directives through ``with openmp("...")`` blocks.  This package
+reproduces the two properties the paper's comparison rests on:
+
+* **performance** — supported programs run through the same typed
+  native-kernel pipeline as OMP4Py's *CompiledDT* mode (the paper finds
+  the two within ~5% of each other);
+* **envelope** — programs outside Numba's restrictions are rejected at
+  decoration time with :class:`PyOMPCompileError`, matching the paper's
+  findings: no Python dicts (wordcount), no NetworkX objects
+  (clustering coefficient), static scheduling only, no ``nowait``, and
+  no ``task`` ``if`` clause (qsort).
+"""
+
+from repro.pyomp.api import (PyOMPCompileError, PyOMPInternalError, njit,
+                             openmp)
+
+__all__ = ["PyOMPCompileError", "PyOMPInternalError", "njit", "openmp"]

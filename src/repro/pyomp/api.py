@@ -1,0 +1,61 @@
+"""PyOMP-style public API: ``@njit`` and the ``openmp`` marker."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.decorator import _get_source_tree, transform
+from repro.errors import OmpError
+from repro.modes import Mode
+from repro.pyomp.envelope import EnvelopeViolation, check_function
+
+
+class PyOMPCompileError(OmpError, TypeError):
+    """Numba rejected the function (simulated nopython-mode failure)."""
+
+
+class PyOMPInternalError(OmpError, RuntimeError):
+    """A simulated Numba-internal failure at execution time.
+
+    The paper reports one for the bfs benchmark: "an error is raised
+    during execution of the PyOMP code related to Numba".
+    """
+
+
+class _OpenmpMarker:
+    """``with openmp("...")`` context, inert outside compiled code."""
+
+    __slots__ = ("directive",)
+
+    def __init__(self, directive: str):
+        self.directive = directive
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+def openmp(directive: str) -> _OpenmpMarker:
+    return _OpenmpMarker(directive)
+
+
+def njit(target=None, **_options):
+    """Decorator: envelope-check, then compile via the typed pipeline.
+
+    Programs inside the Numba envelope run through the same native
+    kernel lowering as OMP4Py's *CompiledDT* — the substitution that
+    makes the baseline's performance comparable, per DESIGN.md.
+    """
+    if target is None:
+        return lambda func: njit(func, **_options)
+    tree = _get_source_tree(target)
+    node = tree.body[0]
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise PyOMPCompileError("@njit can only compile functions")
+    try:
+        check_function(node)
+    except EnvelopeViolation as violation:
+        raise PyOMPCompileError(str(violation)) from None
+    return transform(target, Mode.COMPILED_DT)

@@ -1,0 +1,106 @@
+"""Numba-envelope checks for the PyOMP baseline.
+
+The checker rejects, at decoration time, the constructs the paper's
+PyOMP v0.2.0 cannot compile.  The rules are deliberately the *documented
+observable envelope* rather than a Numba reimplementation:
+
+* Python ``dict``/``set`` literals, comprehensions, and constructors —
+  "lacks support for compiling Python dictionaries" (Section IV-B);
+* string method calls and string iteration targets;
+* attribute calls on modules/objects other than ``math`` and
+  ``numpy``/``np`` — Numba "restricts the use of functions from
+  libraries that are not optimized for Numba" (NetworkX et al.);
+* non-static loop schedules and ``nowait`` — "PyOMP supports
+  approximately 90% of the OpenMP Common Core, with notable omissions
+  such as the nowait clause and the dynamic scheduling policy";
+* the ``if`` clause on tasks — the reason qsort "cannot be implemented
+  in PyOMP".
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.directives import parse_directive
+from repro.transform.rewriter import extract_directive_call
+
+_ALLOWED_MODULES = ("math", "np", "numpy")
+
+_STR_METHODS = frozenset({
+    "split", "lower", "upper", "strip", "join", "replace", "startswith",
+    "endswith", "casefold", "splitlines", "encode", "decode", "format",
+})
+
+
+class EnvelopeViolation(Exception):
+    """Raised internally with a Numba-style message."""
+
+
+def check_function(tree: ast.FunctionDef) -> None:
+    """Raise :class:`EnvelopeViolation` on the first unsupported use."""
+    _Checker().check(tree)
+
+
+class _Checker(ast.NodeVisitor):
+    def check(self, tree: ast.FunctionDef) -> None:
+        for stmt in tree.body:
+            self.visit(stmt)
+
+    @staticmethod
+    def _fail(node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", "?")
+        raise EnvelopeViolation(
+            f"Failed in nopython mode pipeline (line {lineno}): {message}")
+
+    # -- untypable containers -------------------------------------------
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        self._fail(node, "Use of unsupported reflected dict type")
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._fail(node, "Use of unsupported reflected dict type")
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self._fail(node, "Use of unsupported reflected set type")
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._fail(node, "Use of unsupported reflected set type")
+
+    # -- calls ------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if extract_directive_call(node) is not None:
+            self._check_directive(node)
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("dict", "set"):
+            self._fail(node, f"Untyped {func.id}() constructor")
+        if isinstance(func, ast.Attribute):
+            if func.attr in _STR_METHODS:
+                self._fail(node,
+                           f"Unknown attribute '{func.attr}' of type "
+                           f"unicode_type (str methods are unsupported)")
+            base = func.value
+            if isinstance(base, ast.Name) \
+                    and base.id not in _ALLOWED_MODULES:
+                self._fail(
+                    node,
+                    f"Cannot determine Numba type of "
+                    f"'{base.id}.{func.attr}' (external library objects "
+                    f"such as NetworkX graphs cannot be compiled)")
+        self.generic_visit(node)
+
+    # -- directives --------------------------------------------------------
+
+    def _check_directive(self, node: ast.Call) -> None:
+        directive = parse_directive(extract_directive_call(node))
+        schedule = directive.clause("schedule")
+        if schedule is not None and schedule.op != "static":
+            self._fail(node,
+                       f"schedule({schedule.op}) is not supported by "
+                       f"PyOMP (static only)")
+        if directive.has_clause("nowait"):
+            self._fail(node, "the nowait clause is not supported by PyOMP")
+        if directive.name == "task" and directive.has_clause("if"):
+            self._fail(node,
+                       "the if clause on tasks is not supported by PyOMP")

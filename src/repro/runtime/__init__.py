@@ -1,0 +1,21 @@
+"""The pure-Python OMP4Py runtime (the paper's ``runtime``).
+
+The runtime implements every low-level operation the generated code
+calls (``parallel_run``, ``for_bounds``/``for_init``/``for_next``,
+``task_submit``/``task_wait``, barriers, mutexes) plus the OpenMP runtime
+library API.  The module-level singleton :data:`pure_runtime` is what the
+transformer binds to the ``__omp__`` handle in *Pure* mode.
+
+Logic modules here are shared with :mod:`repro.cruntime`, which swaps in
+atomics-based low-level primitives — mirroring the paper's scheme where
+the Cython runtime reuses the Python logic and overrides only the
+low-level ``.pyx`` modules.
+"""
+
+from repro.runtime.engine import OmpRuntime
+from repro.runtime.lowlevel import PureLowLevel
+
+#: Singleton pure-Python runtime, bound as ``__omp__`` in *Pure* mode.
+pure_runtime = OmpRuntime(PureLowLevel())
+
+__all__ = ["OmpRuntime", "pure_runtime"]

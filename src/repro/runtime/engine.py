@@ -1,0 +1,618 @@
+"""The OMP4Py runtime engine.
+
+An :class:`OmpRuntime` instance is what the transformer binds to the
+``__omp__`` handle inside generated code.  Two singletons exist — the
+pure runtime (:data:`repro.runtime.pure_runtime`) and the native
+simulation (:data:`repro.cruntime.cruntime`) — and, as the paper notes,
+each maintains its own per-thread contexts; a thread known to one
+runtime is an independent initial thread to the other.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro import env
+from repro.errors import OmpRuntimeError
+from repro.runtime import reduction, worksharing
+from repro.runtime.context import TaskFrame
+from repro.runtime.locks import OmpLock, OmpNestLock
+from repro.runtime.stats import StatsCollector
+from repro.runtime.tasking import TaskNode
+from repro.runtime.team import Team
+from repro.runtime.trace import Tracer
+
+
+class _Undefined:
+    """Value of a ``private`` copy before first assignment.
+
+    OpenMP leaves such reads undefined; operating on this sentinel makes
+    them fail loudly instead of silently reading the shared value.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<omp undefined>"
+
+    def __bool__(self) -> bool:
+        raise OmpRuntimeError("read of uninitialized private variable")
+
+
+#: Sentinel injected by the transformer for ``private`` variables.
+UNDEFINED = _Undefined()
+
+_SCHEDULE_ENUM = {1: "static", 2: "dynamic", 3: "guided", 4: "auto"}
+_SCHEDULE_NAMES = {v: k for k, v in _SCHEDULE_ENUM.items()}
+
+
+class OmpRuntime:
+    """One OMP4Py runtime: contexts, teams, worksharing, tasking, API."""
+
+    def __init__(self, lowlevel):
+        self.lowlevel = lowlevel
+        self.name = lowlevel.name
+        self._tls = threading.local()
+        # Runtime-wide ICVs (per-task nthreads-var lives on frames).
+        self._dyn = env.default_dynamic()
+        self._nest = env.default_nested()
+        self._run_sched = env.default_schedule()
+        self._thread_limit = env.default_thread_limit()
+        self._max_active_levels = env.default_max_active_levels()
+        self._default_nthreads = env.default_num_threads()
+        self._criticals: dict[str, object] = {}
+        self._criticals_lock = threading.Lock()
+        self._atomic_mutex = lowlevel.make_mutex()
+        self._tp_local = threading.local()
+        #: Work-accounting collector (see :mod:`repro.runtime.stats`).
+        self.stats = StatsCollector()
+        #: Event tracer (off by default; see :mod:`repro.runtime.trace`).
+        self.tracer = Tracer()
+
+    # ------------------------------------------------------------------
+    # Contexts
+
+    def _stack(self) -> list[TaskFrame]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def current_frame(self) -> TaskFrame:
+        """The innermost task frame, creating the initial-thread context
+        on first use (the paper's lazy initial-thread initialization)."""
+        stack = self._stack()
+        if not stack:
+            team = Team(self, None, 1)
+            stack.append(TaskFrame(team, 0, None, "implicit",
+                                   self._default_nthreads))
+        return stack[-1]
+
+    # ------------------------------------------------------------------
+    # Parallel regions
+
+    def parallel_run(self, fn, num_threads=None, if_=True, copyin=()):
+        """Fork a team, run ``fn`` in every member, join.
+
+        ``copyin`` is a tuple of threadprivate keys whose master values
+        are broadcast to the team (the ``copyin`` clause).
+        """
+        frame = self.current_frame()
+        size = self._decide_team_size(frame, num_threads, if_)
+        team = Team(self, frame, size)
+        if self.tracer.enabled:
+            self.tracer.record("region_fork", frame.thread_num, size)
+        copyin_values = [(key, self._tp_dict().get(key, _TP_MISSING))
+                         for key in copyin]
+
+        def member(index: int) -> None:
+            stack = self._stack()
+            stack.append(TaskFrame(team, index, frame, "implicit",
+                                   frame.nthreads_var))
+            begin = time.thread_time()
+            try:
+                for key, value in copyin_values:
+                    if value is not _TP_MISSING:
+                        self._tp_dict()[key] = value
+                fn()
+            except BaseException as error:  # noqa: BLE001 - re-raised at join
+                team.record_error(index, error)
+            finally:
+                try:
+                    team.barrier.wait(self._execute_task_node)
+                except BaseException as error:  # noqa: BLE001
+                    team.record_error(index, error)
+                team.cpu_times[index] = time.thread_time() - begin
+                stack.pop()
+
+        workers = [threading.Thread(target=member, args=(index,),
+                                    name=f"omp-{self.name}-{index}")
+                   for index in range(1, size)]
+        for worker in workers:
+            worker.start()
+        member(0)
+        for worker in workers:
+            worker.join()
+        if self.tracer.enabled:
+            self.tracer.record("region_join", frame.thread_num, size)
+        if team.level == 1:
+            self.stats.record(team.cpu_times)
+        if team.errors:
+            thread_num, error = team.errors[0]
+            raise OmpRuntimeError(
+                f"exception in parallel region (thread {thread_num})"
+            ) from error
+
+    def _decide_team_size(self, frame: TaskFrame, num_threads, if_) -> int:
+        if not if_:
+            return 1
+        active = frame.team.active_level
+        if active >= 1 and not self._nest:
+            return 1
+        if active >= self._max_active_levels:
+            return 1
+        requested = (int(num_threads) if num_threads is not None
+                     else frame.nthreads_var)
+        if requested < 1:
+            raise OmpRuntimeError("num_threads must be positive")
+        return min(requested, self._thread_limit)
+
+    # ------------------------------------------------------------------
+    # Worksharing: loops
+
+    def for_bounds(self, triplet_values) -> list:
+        return worksharing.make_bounds(triplet_values)
+
+    def for_init(self, bounds, kind: str = "static", chunk=None,
+                 ordered: bool = False, nowait: bool = False) -> None:
+        chunk = int(chunk) if chunk is not None else None
+        worksharing.init_loop(self, bounds, kind, chunk, ordered, nowait)
+
+    def for_next(self, bounds) -> bool:
+        more = worksharing.next_chunk(bounds)
+        if more and self.tracer.enabled:
+            self.tracer.record("chunk", bounds[2].thread_num,
+                               bounds[0], bounds[1])
+        return more
+
+    def for_last(self, bounds) -> bool:
+        return worksharing.loop_is_last(bounds)
+
+    def for_end(self, bounds) -> None:
+        if not bounds[2].nowait:
+            self.barrier()
+
+    @staticmethod
+    def trip_count(start: int, stop: int, step: int) -> int:
+        """Iteration count of ``range(start, stop, step)`` (used by the
+        generated taskloop chunking code)."""
+        return worksharing.trip_count(start, stop, step)
+
+    def taskloop_default_grain(self, total: int) -> int:
+        """Implementation-defined taskloop grain: aim for ~8 tasks per
+        team member, floored at 1."""
+        team_size = max(1, self.current_frame().team.size)
+        return max(1, total // (8 * team_size))
+
+    @staticmethod
+    def collapse_divisors(bounds) -> tuple:
+        """Divisors for divmod index recovery in collapsed loops:
+        entry ``k`` is the product of the trip counts of loops after
+        level ``k``."""
+        trips = bounds[2].trips
+        divisors = []
+        running = 1
+        for count in reversed(trips[1:]):
+            running *= count
+            divisors.append(running)
+        divisors.reverse()
+        return tuple(divisors)
+
+    def ordered_start(self, bounds, value: int) -> None:
+        info = bounds[2]
+        linear = value if info.collapsed else worksharing.linear_index(
+            bounds, value)
+        worksharing.ordered_start(bounds, linear)
+
+    def ordered_end(self, bounds, value: int) -> None:
+        info = bounds[2]
+        linear = value if info.collapsed else worksharing.linear_index(
+            bounds, value)
+        worksharing.ordered_end(bounds, linear)
+
+    # ------------------------------------------------------------------
+    # Worksharing: sections / single
+
+    def sections_begin(self, count: int):
+        return worksharing.sections_begin(self, count)
+
+    def sections_next(self, state) -> int:
+        return worksharing.sections_next(state)
+
+    def sections_last(self, state) -> bool:
+        return state.executed_last
+
+    def sections_end(self, state, nowait: bool = False) -> None:
+        if not nowait:
+            self.barrier()
+
+    def single_begin(self):
+        return worksharing.single_begin(self)
+
+    def single_end(self, state, nowait: bool = False) -> None:
+        if not nowait:
+            self.barrier()
+
+    def copyprivate_set(self, state, payload) -> None:
+        worksharing.copyprivate_set(state, payload)
+
+    def copyprivate_get(self, state):
+        return worksharing.copyprivate_get(state)
+
+    def master_begin(self) -> bool:
+        return self.current_frame().thread_num == 0
+
+    # ------------------------------------------------------------------
+    # Synchronization
+
+    def barrier(self) -> None:
+        frame = self.current_frame()
+        if frame.kind == "task":
+            raise OmpRuntimeError("barrier inside an explicit task")
+        if self.tracer.enabled:
+            self.tracer.record("barrier_enter", frame.thread_num)
+        frame.team.barrier.wait(self._execute_task_node)
+        if self.tracer.enabled:
+            self.tracer.record("barrier_release", frame.thread_num)
+
+    def critical_enter(self, name: str = "") -> None:
+        self._critical_lock(name).acquire()
+
+    def critical_exit(self, name: str = "") -> None:
+        self._critical_lock(name).release()
+
+    def _critical_lock(self, name: str):
+        lock = self._criticals.get(name)
+        if lock is None:
+            with self._criticals_lock:
+                lock = self._criticals.setdefault(
+                    name, self.lowlevel.make_mutex())
+        return lock
+
+    def atomic_enter(self) -> None:
+        self._atomic_mutex.acquire()
+
+    def atomic_exit(self) -> None:
+        self._atomic_mutex.release()
+
+    def mutex_lock(self) -> None:
+        """Team mutex used by generated reduction epilogues."""
+        self.current_frame().team.mutex.acquire()
+
+    def mutex_unlock(self) -> None:
+        self.current_frame().team.mutex.release()
+
+    def flush(self, *_names) -> None:
+        """No-op: CPython's memory model already sequences the accesses
+        a flush would order; kept for tracing and API fidelity."""
+
+    # ------------------------------------------------------------------
+    # Tasking
+
+    def task_submit(self, fn, if_=True, depends_in=(),
+                    depends_out=()) -> None:
+        """Submit an explicit task.
+
+        ``depends_in``/``depends_out`` carry the *objects* named by
+        ``depend(in:...)``/``depend(out:...)``/``depend(inout:...)``
+        clauses; dependences are keyed by object identity, the paper's
+        Section V sketch (with its documented caveat for equal-valued
+        immutables — interning can alias such keys).
+        """
+        frame = self.current_frame()
+        team = frame.team
+        node = TaskNode(fn, team, self.lowlevel)
+        if self.tracer.enabled:
+            self.tracer.record("task_submit", frame.thread_num, id(node))
+        predecessors = self._resolve_dependences(frame, node, depends_in,
+                                                 depends_out)
+        if not if_:
+            # if(false): the task is undeferred — the encountering
+            # thread executes it immediately (OpenMP 3.0 §2.7), but
+            # only once its dependences are satisfied.  A task on a
+            # single-thread team stays *deferred*: it waits in the
+            # queue for a scheduling point, which keeps deep task
+            # recursions (bfs) iterative instead of growing the stack.
+            for predecessor in predecessors:
+                while not predecessor.event.wait(timeout=0.05):
+                    if team.broken:
+                        return
+            team.pending.fetch_add(1)
+            frame.children.append(node)
+            node.claim()
+            self._execute_task_node(node)
+            return
+        team.pending.fetch_add(1)
+        frame.children.append(node)
+        if predecessors:
+            from repro.runtime.tasking import WAITING
+            node.state.store(WAITING)
+            # +1 keeps the count from reaching zero before this thread
+            # finishes registering with every predecessor.
+            node.deps_remaining.store(len(predecessors) + 1)
+            already_done = sum(
+                1 for predecessor in predecessors
+                if not predecessor.add_successor(node))
+            remaining = node.deps_remaining.fetch_add(
+                -(already_done + 1))
+            if remaining - (already_done + 1) > 0:
+                return  # a predecessor's completion will release it
+        self._release_task(node)
+
+    def _release_task(self, node: TaskNode) -> None:
+        """Make a (possibly formerly WAITING) task claimable."""
+        from repro.runtime.tasking import FREE, WAITING
+        node.state.compare_exchange(WAITING, FREE)
+        node.team.task_queue.append(node)
+        node.team.barrier.poke()
+
+    def _resolve_dependences(self, frame: TaskFrame, node: TaskNode,
+                             depends_in, depends_out) -> list[TaskNode]:
+        if not depends_in and not depends_out:
+            return []
+        predecessors: dict[int, TaskNode] = {}
+        out_ids = {id(obj) for obj in depends_out}
+        for obj in depends_in:
+            if id(obj) in out_ids:
+                continue  # inout: the out rules below subsume it
+            writer, readers = frame.depend_map.get(id(obj), (None, []))
+            if writer is not None:
+                predecessors[id(writer)] = writer
+            frame.depend_map.setdefault(id(obj), (None, []))
+            frame.depend_map[id(obj)][1].append(node)
+            frame.depend_refs[id(obj)] = obj
+        for obj in depends_out:
+            writer, readers = frame.depend_map.get(id(obj), (None, []))
+            if writer is not None:
+                predecessors[id(writer)] = writer
+            for reader in readers:
+                predecessors[id(reader)] = reader
+            frame.depend_map[id(obj)] = (node, [])
+            frame.depend_refs[id(obj)] = obj
+        predecessors.pop(id(node), None)
+        return list(predecessors.values())
+
+    def task_wait(self) -> None:
+        """Complete all direct children of the current task."""
+        frame = self.current_frame()
+        while not frame.team.broken:
+            incomplete = [c for c in frame.children if not c.done]
+            if not incomplete:
+                break
+            progressed = False
+            for child in incomplete:
+                if child.claim():
+                    self._execute_task_node(child)
+                    progressed = True
+            if not progressed:
+                incomplete[0].event.wait(timeout=0.005)
+        frame.children.clear()
+
+    def _execute_task_node(self, node: TaskNode) -> None:
+        frame = self.current_frame()
+        stack = self._stack()
+        stack.append(TaskFrame(node.team, frame.thread_num, frame, "task",
+                               frame.nthreads_var))
+        if self.tracer.enabled:
+            self.tracer.record("task_start", frame.thread_num, id(node))
+        try:
+            node.fn()
+        except BaseException as error:  # noqa: BLE001 - raised at join
+            node.team.record_error(frame.thread_num, error)
+        finally:
+            stack.pop()
+            if self.tracer.enabled:
+                self.tracer.record("task_finish", frame.thread_num,
+                                   id(node))
+            ready = node.finish()
+            node.team.pending.fetch_add(-1)
+            for successor in ready:
+                self._release_task(successor)
+            node.team.barrier.poke()
+
+    # ------------------------------------------------------------------
+    # Reductions
+
+    @staticmethod
+    def reduction_init(op: str):
+        return reduction.reduction_init(op)
+
+    @staticmethod
+    def reduction_combine(op: str, out, value):
+        return reduction.reduction_combine(op, out, value)
+
+    @staticmethod
+    def declare_reduction(name: str, combiner, initializer) -> None:
+        reduction.declare_reduction(name, combiner, initializer)
+
+    # ------------------------------------------------------------------
+    # Threadprivate
+
+    def _tp_dict(self) -> dict:
+        values = getattr(self._tp_local, "values", None)
+        if values is None:
+            values = {}
+            self._tp_local.values = values
+        return values
+
+    def tp_load(self, key: str, name: str, globalns: dict):
+        values = self._tp_dict()
+        if key not in values:
+            if name not in globalns:
+                raise OmpRuntimeError(
+                    f"threadprivate variable {name!r} has no initial value")
+            values[key] = globalns[name]
+        return values[key]
+
+    def tp_store(self, key: str, value) -> None:
+        self._tp_dict()[key] = value
+
+    # ------------------------------------------------------------------
+    # OpenMP runtime library API
+
+    def set_num_threads(self, count: int) -> None:
+        if count < 1:
+            raise OmpRuntimeError("omp_set_num_threads requires >= 1")
+        self.current_frame().nthreads_var = int(count)
+
+    def get_num_threads(self) -> int:
+        return self.current_frame().team.size
+
+    def get_max_threads(self) -> int:
+        return self.current_frame().nthreads_var
+
+    def get_thread_num(self) -> int:
+        return self.current_frame().thread_num
+
+    @staticmethod
+    def get_num_procs() -> int:
+        return os.cpu_count() or 1
+
+    def in_parallel(self) -> bool:
+        return self.current_frame().team.active_level > 0
+
+    def set_dynamic(self, flag: bool) -> None:
+        self._dyn = bool(flag)
+
+    def get_dynamic(self) -> bool:
+        return self._dyn
+
+    def set_nested(self, flag: bool) -> None:
+        self._nest = bool(flag)
+
+    def get_nested(self) -> bool:
+        return self._nest
+
+    def set_schedule(self, kind, chunk=None) -> None:
+        if isinstance(kind, int):
+            if kind not in _SCHEDULE_ENUM:
+                raise OmpRuntimeError(f"invalid schedule enum {kind}")
+            kind = _SCHEDULE_ENUM[kind]
+        kind = str(kind).lower()
+        if kind not in _SCHEDULE_NAMES:
+            raise OmpRuntimeError(f"invalid schedule kind {kind!r}")
+        self._run_sched = (kind, int(chunk) if chunk else None)
+
+    def get_schedule(self) -> tuple[str, int | None]:
+        return self._run_sched
+
+    def get_thread_limit(self) -> int:
+        return self._thread_limit
+
+    def set_max_active_levels(self, levels: int) -> None:
+        self._max_active_levels = max(0, int(levels))
+
+    def get_max_active_levels(self) -> int:
+        return self._max_active_levels
+
+    def get_level(self) -> int:
+        return self.current_frame().team.level
+
+    def get_active_level(self) -> int:
+        return self.current_frame().team.active_level
+
+    def get_ancestor_thread_num(self, level: int) -> int:
+        frame = self.current_frame()
+        if level < 0 or level > frame.team.level:
+            return -1
+        while frame.team.level > level:
+            frame = frame.team.parent_frame
+        return frame.thread_num
+
+    def get_team_size(self, level: int) -> int:
+        frame = self.current_frame()
+        if level < 0 or level > frame.team.level:
+            return -1
+        while frame.team.level > level:
+            frame = frame.team.parent_frame
+        return frame.team.size
+
+    def display_env(self, verbose: bool = False) -> None:
+        """Print the ICVs in the OpenMP ``OMP_DISPLAY_ENV`` format."""
+        import sys as _sys
+        out = _sys.stderr
+        kind, chunk = self._run_sched
+        schedule = kind.upper() + (f",{chunk}" if chunk else "")
+        print("OPENMP DISPLAY ENVIRONMENT BEGIN", file=out)
+        print(f"  _OPENMP = '200805'  # 3.0 ({self.name})", file=out)
+        print(f"  OMP_NUM_THREADS = "
+              f"'{self.current_frame().nthreads_var}'", file=out)
+        print(f"  OMP_SCHEDULE = '{schedule}'", file=out)
+        print(f"  OMP_DYNAMIC = '{str(self._dyn).upper()}'", file=out)
+        print(f"  OMP_NESTED = '{str(self._nest).upper()}'", file=out)
+        print(f"  OMP_THREAD_LIMIT = '{self._thread_limit}'", file=out)
+        print(f"  OMP_MAX_ACTIVE_LEVELS = '{self._max_active_levels}'",
+              file=out)
+        if verbose:
+            print(f"  OMP4PY_RUNTIME = '{self.name}'", file=out)
+            print(f"  OMP4PY_NUM_PROCS = '{self.get_num_procs()}'",
+                  file=out)
+        print("OPENMP DISPLAY ENVIRONMENT END", file=out)
+
+    @staticmethod
+    def get_wtime() -> float:
+        return time.perf_counter()
+
+    @staticmethod
+    def get_wtick() -> float:
+        return time.get_clock_info("perf_counter").resolution
+
+    # Lock API -----------------------------------------------------------
+
+    def init_lock(self) -> OmpLock:
+        return OmpLock(self.lowlevel)
+
+    def init_nest_lock(self) -> OmpNestLock:
+        return OmpNestLock(self.lowlevel)
+
+    @staticmethod
+    def destroy_lock(lock) -> None:
+        lock.destroy()
+
+    destroy_nest_lock = destroy_lock
+
+    @staticmethod
+    def set_lock(lock) -> None:
+        lock.set()
+
+    set_nest_lock = set_lock
+
+    @staticmethod
+    def unset_lock(lock) -> None:
+        lock.unset()
+
+    unset_nest_lock = unset_lock
+
+    @staticmethod
+    def test_lock(lock):
+        return lock.test()
+
+    test_nest_lock = test_lock
+
+    # Misc ----------------------------------------------------------------
+
+    #: Sentinel re-exported for generated ``private`` initialisation.
+    UNDEFINED = UNDEFINED
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<OmpRuntime {self.name}>"
+
+
+class _TPMissingType:
+    __slots__ = ()
+
+
+_TP_MISSING = _TPMissingType()

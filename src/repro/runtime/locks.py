@@ -1,0 +1,101 @@
+"""OpenMP lock API objects (simple and nestable locks).
+
+``omp_init_lock``/``omp_init_nest_lock`` return these objects; the rest
+of the lock API operates on them.  A nestable lock may be re-acquired by
+its owner; ``omp_test_nest_lock`` returns the new nesting count, per the
+OpenMP specification.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import OmpRuntimeError
+
+
+class OmpLock:
+    """A simple OpenMP lock."""
+
+    __slots__ = ("_lock", "_destroyed")
+
+    def __init__(self, lowlevel):
+        self._lock = lowlevel.make_mutex()
+        self._destroyed = False
+
+    def _check(self) -> None:
+        if self._destroyed:
+            raise OmpRuntimeError("lock used after omp_destroy_lock")
+
+    def set(self) -> None:
+        self._check()
+        self._lock.acquire()
+
+    def unset(self) -> None:
+        self._check()
+        self._lock.release()
+
+    def test(self) -> bool:
+        self._check()
+        return self._lock.acquire(blocking=False)
+
+    def destroy(self) -> None:
+        self._destroyed = True
+
+
+class OmpNestLock:
+    """A nestable OpenMP lock (owner may re-acquire)."""
+
+    __slots__ = ("_lock", "_owner", "_count", "_destroyed", "_guard")
+
+    def __init__(self, lowlevel):
+        self._lock = lowlevel.make_mutex()
+        self._guard = threading.Lock()
+        self._owner = None
+        self._count = 0
+        self._destroyed = False
+
+    def _check(self) -> None:
+        if self._destroyed:
+            raise OmpRuntimeError("lock used after omp_destroy_nest_lock")
+
+    def set(self) -> None:
+        self._check()
+        me = threading.get_ident()
+        with self._guard:
+            if self._owner == me:
+                self._count += 1
+                return
+        self._lock.acquire()
+        with self._guard:
+            self._owner = me
+            self._count = 1
+
+    def unset(self) -> None:
+        self._check()
+        me = threading.get_ident()
+        with self._guard:
+            if self._owner != me or self._count == 0:
+                raise OmpRuntimeError(
+                    "omp_unset_nest_lock by a thread that does not own it")
+            self._count -= 1
+            if self._count == 0:
+                self._owner = None
+                self._lock.release()
+
+    def test(self) -> int:
+        """Acquire if possible; return the new nesting count, else 0."""
+        self._check()
+        me = threading.get_ident()
+        with self._guard:
+            if self._owner == me:
+                self._count += 1
+                return self._count
+        if self._lock.acquire(blocking=False):
+            with self._guard:
+                self._owner = me
+                self._count = 1
+            return 1
+        return 0
+
+    def destroy(self) -> None:
+        self._destroyed = True

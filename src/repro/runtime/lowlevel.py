@@ -1,0 +1,98 @@
+"""Low-level primitives of the pure-Python runtime.
+
+This module defines the *interface* that separates the shared runtime
+logic from the primitives that differ between the two runtimes — the
+Python analogue of the paper's ``.pxd`` declaration files.  The pure
+implementation coordinates through mutexes (``threading.Lock``); the
+native simulation in :mod:`repro.cruntime.lowlevel` substitutes atomic
+operations, exactly the split the paper describes for dynamic-schedule
+counters, task enqueueing, and shared-slot creation.
+
+Interface (duck-typed, no ABC overhead on hot paths):
+
+* ``make_mutex()`` / ``make_event()`` — basic primitives.
+* ``make_counter(initial)`` — object with ``load``, ``store``,
+  ``fetch_add(delta) -> old`` and ``compare_exchange(expected, desired)
+  -> bool``.
+* ``queue_append(queue, node)`` — link ``node`` at the tail of a task
+  queue (see :mod:`repro.runtime.tasking`).
+* ``slot_get_or_create(table, lock, key, factory)`` — shared-slot
+  creation for worksharing constructs.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class MutexCounter:
+    """Shared counter protected by a mutex (the pure runtime's choice).
+
+    Same operation set as :class:`repro.atomics.AtomicLong`, so the
+    scheduler and tasking logic are written once against this interface.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: int = 0):
+        self._value = value
+        self._lock = threading.Lock()
+
+    def load(self) -> int:
+        return self._value
+
+    def store(self, value: int) -> None:
+        with self._lock:
+            self._value = value
+
+    def fetch_add(self, delta: int = 1) -> int:
+        with self._lock:
+            old = self._value
+            self._value = old + delta
+            return old
+
+    def compare_exchange(self, expected: int, desired: int) -> bool:
+        with self._lock:
+            if self._value == expected:
+                self._value = desired
+                return True
+            return False
+
+
+class PureLowLevel:
+    """Mutex-based primitives for the pure-Python ``runtime``."""
+
+    name = "runtime"
+
+    @staticmethod
+    def make_mutex():
+        return threading.Lock()
+
+    @staticmethod
+    def make_event():
+        return threading.Event()
+
+    @staticmethod
+    def make_counter(initial: int = 0):
+        return MutexCounter(initial)
+
+    @staticmethod
+    def queue_append(queue, node) -> None:
+        """Append under the queue mutex (paper: "the runtime uses a
+        mutex to update the next-reference")."""
+        with queue.mutex:
+            queue.tail.next = node
+            queue.tail = node
+
+    @staticmethod
+    def slot_get_or_create(table: dict, lock, key, factory):
+        """First arrival creates the shared slot, under the table lock."""
+        slot = table.get(key)
+        if slot is not None:
+            return slot
+        with lock:
+            slot = table.get(key)
+            if slot is None:
+                slot = factory()
+                table[key] = slot
+            return slot

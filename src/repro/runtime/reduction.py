@@ -1,0 +1,87 @@
+"""Reduction operators: the OpenMP 3.0 built-ins plus ``declare
+reduction`` (OpenMP 4.0, included per the paper).
+
+Each operator supplies an identity (the value private copies start from)
+and a combiner.  The registry of user-declared reductions is shared by
+both runtimes — a declared name means the same thing everywhere, just as
+a ``declare reduction`` in a C translation unit does.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from repro.errors import OmpRuntimeError
+
+
+class ReductionOp:
+    __slots__ = ("name", "initializer", "combiner")
+
+    def __init__(self, name, initializer, combiner):
+        self.name = name
+        self.initializer = initializer
+        self.combiner = combiner
+
+
+_BUILTINS: dict[str, ReductionOp] = {}
+
+
+def _builtin(name, initializer, combiner):
+    _BUILTINS[name] = ReductionOp(name, initializer, combiner)
+
+
+_builtin("+", lambda: 0, lambda out, value: out + value)
+# OpenMP reduces "-" with addition of the partial sums: each private
+# copy accumulates subtractions from 0, and partials are summed.
+_builtin("-", lambda: 0, lambda out, value: out + value)
+_builtin("*", lambda: 1, lambda out, value: out * value)
+_builtin("&", lambda: -1, lambda out, value: out & value)
+_builtin("|", lambda: 0, lambda out, value: out | value)
+_builtin("^", lambda: 0, lambda out, value: out ^ value)
+_builtin("&&", lambda: True, lambda out, value: bool(out and value))
+_builtin("||", lambda: False, lambda out, value: bool(out or value))
+_builtin("and", lambda: True, lambda out, value: bool(out and value))
+_builtin("or", lambda: False, lambda out, value: bool(out or value))
+_builtin("min", lambda: math.inf, min)
+_builtin("max", lambda: -math.inf, max)
+
+
+_declared: dict[str, ReductionOp] = {}
+_declared_lock = threading.Lock()
+
+
+def declare_reduction(name: str, combiner, initializer=None) -> None:
+    """Register a user reduction (API form of ``declare reduction``).
+
+    ``combiner`` is ``f(omp_out, omp_in) -> new omp_out``;
+    ``initializer`` is a zero-argument callable producing the identity
+    (defaults to ``None``-identity via the combiner's first real value —
+    OpenMP requires an initializer for non-trivial types, and so do we).
+    """
+    if not name.isidentifier():
+        raise OmpRuntimeError(f"invalid reduction name {name!r}")
+    if name in _BUILTINS:
+        raise OmpRuntimeError(f"cannot redeclare built-in reduction {name!r}")
+    if initializer is None:
+        raise OmpRuntimeError(
+            f"declare reduction {name!r} requires an initializer")
+    with _declared_lock:
+        _declared[name] = ReductionOp(name, initializer, combiner)
+
+
+def lookup(name: str) -> ReductionOp:
+    op = _BUILTINS.get(name) or _declared.get(name)
+    if op is None:
+        raise OmpRuntimeError(f"unknown reduction operator {name!r}")
+    return op
+
+
+def reduction_init(name: str):
+    """Identity value for private reduction copies."""
+    return lookup(name).initializer()
+
+
+def reduction_combine(name: str, out, value):
+    """Combine a private partial result into the shared variable."""
+    return lookup(name).combiner(out, value)

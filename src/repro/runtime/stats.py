@@ -1,0 +1,75 @@
+"""Work accounting: the free-threaded-interpreter projection substrate.
+
+The paper measures wall-clock times on a GIL-free interpreter.  This
+reproduction runs on a GIL interpreter (and, in CI, a single core), so
+the runtime additionally records each team member's *per-thread CPU
+time* (``time.thread_time``) for every top-level parallel region.
+
+Under the GIL, threads serialize, so the measured wall time of a region
+is approximately the **sum** of per-thread CPU times plus overhead; on a
+free-threaded interpreter it approaches the **maximum** (the critical
+path) plus the same overhead.  The projection reported by the benchmark
+harness is therefore::
+
+    projected_wall = measured_wall - sum(cpu) + max(cpu)   (per region,
+                                                            summed)
+
+This preserves exactly what the paper's figures show — load balance,
+scheduling quality, and mode-to-mode ratios — from the same execution.
+See DESIGN.md, "Environment gaps and substitutions".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+
+@dataclasses.dataclass
+class RegionRecord:
+    """CPU-time profile of one top-level parallel region."""
+
+    size: int
+    cpu_times: list[float]
+
+    @property
+    def sum_cpu(self) -> float:
+        return sum(self.cpu_times)
+
+    @property
+    def max_cpu(self) -> float:
+        return max(self.cpu_times) if self.cpu_times else 0.0
+
+
+class StatsCollector:
+    """Accumulates region records between ``reset`` and ``snapshot``."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._records: list[RegionRecord] = []
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def record(self, cpu_times: list[float]) -> None:
+        with self._lock:
+            self._records.append(
+                RegionRecord(len(cpu_times), list(cpu_times)))
+
+    def snapshot(self) -> list[RegionRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def totals(self) -> tuple[float, float, int]:
+        """(total serialized CPU, total critical-path CPU, regions)."""
+        with self._lock:
+            serialized = sum(r.sum_cpu for r in self._records)
+            critical = sum(r.max_cpu for r in self._records)
+            return serialized, critical, len(self._records)
+
+    def project(self, wall: float) -> float:
+        """Projected no-GIL wall time for an interval measured as
+        ``wall`` that contains the recorded regions."""
+        serialized, critical, _count = self.totals()
+        return max(wall - serialized + critical, critical, 0.0)

@@ -1,0 +1,116 @@
+"""Explicit tasking: the shared task queue and task lifecycle.
+
+The queue is a linked list, as in the paper: each node stores the task
+function, its execution state (free / in-progress / completed), a
+completion event, and a next-reference.  The pure runtime serialises
+appends with the queue mutex; the cruntime substitutes a
+``compare_exchange`` on the tail's next-reference (see
+:mod:`repro.cruntime.lowlevel`).  State transitions use the counter
+interface, so claiming a task is a mutex-guarded CAS in the pure runtime
+and an atomic CAS in the cruntime.
+"""
+
+from __future__ import annotations
+
+FREE = 0
+RUNNING = 1
+DONE = 2
+#: Deferred but not yet runnable: unsatisfied dependences (the paper's
+#: Section V extension).  WAITING nodes are not enqueued; completion of
+#: their predecessors releases them to FREE and queues them.
+WAITING = 3
+
+
+class TaskNode:
+    """One node of the shared task queue."""
+
+    __slots__ = ("fn", "state", "event", "next", "team", "dep_lock",
+                 "dep_done", "successors", "deps_remaining")
+
+    def __init__(self, fn, team, lowlevel):
+        self.fn = fn
+        self.team = team
+        self.state = lowlevel.make_counter(FREE)
+        self.event = lowlevel.make_event()
+        self.next = None
+        # Dependence bookkeeping (inert unless depend clauses are used).
+        self.dep_lock = lowlevel.make_mutex()
+        self.dep_done = False
+        self.successors: list = []
+        self.deps_remaining = lowlevel.make_counter(0)
+
+    def claim(self) -> bool:
+        """Try to move this node from free to in-progress."""
+        return self.state.compare_exchange(FREE, RUNNING)
+
+    def add_successor(self, node: "TaskNode") -> bool:
+        """Register a dependent task; ``False`` if already completed
+        (the caller then counts this dependence as satisfied)."""
+        with self.dep_lock:
+            if self.dep_done:
+                return False
+            self.successors.append(node)
+            return True
+
+    def finish(self) -> list["TaskNode"]:
+        """Complete the task; return successors that became runnable."""
+        with self.dep_lock:
+            self.dep_done = True
+            ready = [successor for successor in self.successors
+                     if successor.deps_remaining.fetch_add(-1) == 1]
+            self.successors.clear()
+        self.state.store(DONE)
+        self.event.set()
+        return ready
+
+    @property
+    def done(self) -> bool:
+        return self.state.load() == DONE
+
+
+class TaskQueue:
+    """Linked-list task queue shared by a team.
+
+    ``head`` is a sentinel; completed prefix nodes are unlinked lazily
+    during traversal so walks stay short for producer–consumer patterns.
+    """
+
+    __slots__ = ("lowlevel", "mutex", "head", "tail")
+
+    def __init__(self, lowlevel):
+        self.lowlevel = lowlevel
+        self.mutex = lowlevel.make_mutex()
+        sentinel = TaskNode(None, None, lowlevel)
+        sentinel.state.store(DONE)
+        self.head = sentinel
+        self.tail = sentinel
+
+    def append(self, node: TaskNode) -> None:
+        self.lowlevel.queue_append(self, node)
+
+    def claim_next(self) -> TaskNode | None:
+        """Claim the first free task, unlinking completed prefix nodes.
+
+        The prefix unlink (``self.head = node`` once the old head chain
+        is fully completed) is a benign single-reference update: a stale
+        head only means a slightly longer walk.
+        """
+        prev = self.head
+        node = prev.next
+        while node is not None:
+            if node.claim():
+                return node
+            if node.done and prev is self.head and node.next is not None:
+                # Hop the completed prefix forward.
+                self.head = node
+            prev = node
+            node = node.next
+        return None
+
+    def has_free(self) -> bool:
+        node = self.head.next
+        while node is not None:
+            if node.state.load() == FREE:
+                return True
+            node = node.next
+        return False

@@ -1,0 +1,132 @@
+"""Thread teams and the task-draining barrier.
+
+A team is created by every ``parallel`` directive (including serialized
+ones of size 1).  Its barrier implements the semantics the paper
+describes: threads arriving early consume pending tasks from the shared
+queue instead of idling, are reawakened when new tasks are submitted
+while they wait, and the barrier releases only once every thread has
+arrived *and* every task of the team has completed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.runtime.tasking import TaskQueue
+
+
+class Barrier:
+    """Generation-counted barrier that drains the team's task queue."""
+
+    __slots__ = ("team", "cond", "count", "generation")
+
+    def __init__(self, team):
+        self.team = team
+        self.cond = threading.Condition()
+        self.count = 0
+        self.generation = 0
+
+    def wait(self, execute_task) -> None:
+        """Block until the whole team arrives and all tasks are done.
+
+        ``execute_task`` is the runtime callback that runs one claimed
+        task node (it lives on the runtime, not here, because it must
+        push a context frame).
+
+        A *broken* team (a member left the region via an exception, so
+        barrier arrivals can no longer match up) releases every waiter
+        immediately — the join will re-raise the recorded error.
+        """
+        team = self.team
+        if team.broken:
+            return
+        if team.size == 1 and team.pending.load() == 0 \
+                and team.task_queue.head.next is None:
+            return
+        with self.cond:
+            self.count += 1
+            my_generation = self.generation
+            self.cond.notify_all()
+        while True:
+            if team.broken:
+                with self.cond:
+                    self.cond.notify_all()
+                return
+            node = team.task_queue.claim_next()
+            if node is not None:
+                execute_task(node)
+                continue
+            with self.cond:
+                if self.generation != my_generation:
+                    return
+                if (self.count >= team.size
+                        and team.pending.load() == 0):
+                    self.generation += 1
+                    self.count = 0
+                    self.cond.notify_all()
+                    return
+                if not team.task_queue.has_free():
+                    # Reawakened by new tasks, task completions, or
+                    # the releasing thread; the timeout is a safety
+                    # net, not the signalling mechanism.
+                    self.cond.wait(timeout=0.05)
+
+    def poke(self) -> None:
+        """Wake waiters after a task submission or completion."""
+        if self.count > 0:
+            with self.cond:
+                self.cond.notify_all()
+
+    def poke_all(self) -> None:
+        """Unconditional wake-up (team breakage)."""
+        with self.cond:
+            self.cond.notify_all()
+
+
+class Team:
+    """A team of threads executing one parallel region."""
+
+    __slots__ = ("runtime", "parent_frame", "size", "level", "active_level",
+                 "barrier", "task_queue", "pending", "slots", "slots_lock",
+                 "mutex", "cpu_times", "errors", "errors_lock", "broken")
+
+    def __init__(self, runtime, parent_frame, size: int):
+        self.runtime = runtime
+        self.parent_frame = parent_frame
+        self.size = size
+        if parent_frame is None:
+            # The implicit single-thread team of an initial thread.
+            self.level = 0
+            self.active_level = 0
+        else:
+            parent_team = parent_frame.team
+            self.level = parent_team.level + 1
+            self.active_level = parent_team.active_level + (
+                1 if size > 1 else 0)
+        lowlevel = runtime.lowlevel
+        self.barrier = Barrier(self)
+        self.task_queue = TaskQueue(lowlevel)
+        #: Tasks submitted to this team and not yet completed.
+        self.pending = lowlevel.make_counter(0)
+        #: Shared worksharing slots, keyed by per-thread region ordinal.
+        self.slots: dict = {}
+        self.slots_lock = lowlevel.make_mutex()
+        #: Team mutex used by generated reduction epilogues
+        #: (``__omp__.mutex_lock()`` in the paper's Fig. 2).
+        self.mutex = threading.RLock()
+        self.cpu_times = [0.0] * size
+        self.errors: list = []
+        self.errors_lock = threading.Lock()
+        #: Set when a member leaves the region abnormally; every
+        #: synchronization construct then drains instead of blocking.
+        self.broken = False
+
+    def record_error(self, thread_num: int, error: BaseException) -> None:
+        with self.errors_lock:
+            self.errors.append((thread_num, error))
+        self.broken = True
+        self.barrier.poke_all()
+
+    def get_slot(self, key, factory):
+        return self.runtime.lowlevel.slot_get_or_create(
+            self.slots, self.slots_lock, key, factory)

@@ -1,0 +1,138 @@
+"""Runtime event tracing.
+
+When enabled, the runtime records a timestamped event per interesting
+transition — region fork/join, loop chunk dispatch, task lifecycle,
+barrier arrival/release — into a bounded in-memory buffer.  The tracer
+answers the questions the paper's figures raise ("which thread got the
+hub nodes?", "how many chunks did dynamic hand out?") and gives the
+test suite a precise view of scheduling decisions.
+
+Tracing is off by default and costs one attribute read per hook when
+disabled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections import Counter, defaultdict
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One runtime event.
+
+    ``kind`` is one of: ``region_fork``, ``region_join``,
+    ``chunk``, ``task_submit``, ``task_start``, ``task_finish``,
+    ``barrier_enter``, ``barrier_release``.
+    """
+
+    timestamp: float
+    kind: str
+    thread: int
+    detail: tuple
+
+
+class Tracer:
+    """Bounded, thread-safe event buffer."""
+
+    def __init__(self, capacity: int = 100_000):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: list[TraceEvent] = []
+        self.enabled = False
+        self.dropped = 0
+
+    # -- control --------------------------------------------------------
+
+    def start(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+            self.enabled = True
+
+    def stop(self) -> list[TraceEvent]:
+        with self._lock:
+            self.enabled = False
+            return list(self._events)
+
+    def events(self) -> list[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, kind: str, thread: int, *detail) -> None:
+        if not self.enabled:
+            return
+        event = TraceEvent(time.perf_counter(), kind, thread,
+                           tuple(detail))
+        with self._lock:
+            if len(self._events) < self.capacity:
+                self._events.append(event)
+            else:
+                self.dropped += 1
+
+
+class TraceSummary:
+    """Aggregations over a recorded event list."""
+
+    def __init__(self, events: list[TraceEvent]):
+        self.events = events
+
+    def count(self, kind: str) -> int:
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def chunks_per_thread(self) -> dict[int, int]:
+        counts: Counter[int] = Counter()
+        for event in self.events:
+            if event.kind == "chunk":
+                counts[event.thread] += 1
+        return dict(counts)
+
+    def iterations_per_thread(self) -> dict[int, int]:
+        totals: defaultdict[int, int] = defaultdict(int)
+        for event in self.events:
+            if event.kind == "chunk":
+                low, high = event.detail[:2]
+                totals[event.thread] += max(0, high - low)
+        return dict(totals)
+
+    def task_executors(self) -> dict[int, int]:
+        counts: Counter[int] = Counter()
+        for event in self.events:
+            if event.kind == "task_start":
+                counts[event.thread] += 1
+        return dict(counts)
+
+    def task_latencies(self) -> list[float]:
+        """Submit-to-start latency per task id."""
+        submitted: dict[int, float] = {}
+        latencies: list[float] = []
+        for event in self.events:
+            if event.kind == "task_submit":
+                submitted[event.detail[0]] = event.timestamp
+            elif event.kind == "task_start":
+                start = submitted.pop(event.detail[0], None)
+                if start is not None:
+                    latencies.append(event.timestamp - start)
+        return latencies
+
+    def timeline(self, width: int = 60) -> str:
+        """ASCII chunk timeline, one row per thread."""
+        chunk_events = [e for e in self.events if e.kind == "chunk"]
+        if not chunk_events:
+            return "(no chunk events)"
+        begin = min(e.timestamp for e in chunk_events)
+        end = max(e.timestamp for e in chunk_events)
+        span = max(end - begin, 1e-9)
+        rows: dict[int, list[str]] = {}
+        for event in chunk_events:
+            row = rows.setdefault(event.thread, [" "] * width)
+            slot = min(width - 1,
+                       int((event.timestamp - begin) / span * width))
+            row[slot] = "#"
+        return "\n".join(
+            f"t{thread:<3}|{''.join(cells)}|"
+            for thread, cells in sorted(rows.items()))

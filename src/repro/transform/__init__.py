@@ -1,0 +1,20 @@
+"""Source-to-source transformer: directives to explicitly-threaded code.
+
+The rewriter walks the decorated object's AST, finds ``with omp("...")``
+blocks and standalone ``omp("...")`` calls, and lowers each construct to
+calls into the bound runtime — following the code shapes of the paper's
+Figs. 2 and 3.  The package is organised like a small compiler front
+end:
+
+* :mod:`repro.transform.scope` — name-binding analysis,
+* :mod:`repro.transform.astutil` — node builders, renaming, checks,
+* :mod:`repro.transform.context` — transformation state and symbol gen,
+* :mod:`repro.transform.datasharing` — clause-driven privatization,
+* :mod:`repro.transform.rewriter` — directive dispatch,
+* :mod:`repro.transform.constructs` — one lowering module per construct
+  family.
+"""
+
+from repro.transform.rewriter import transform_function_def
+
+__all__ = ["transform_function_def"]

@@ -1,0 +1,44 @@
+"""Mapping from OpenMP-style API names to runtime methods.
+
+Calls to these functions inside a decorated object are rebound to the
+``__omp__`` handle, so *Pure* code queries the pure runtime and
+*Hybrid*/*Compiled* code queries the cruntime — the paper's rule that
+the two runtimes never share contexts.  The same names are exported at
+module level by :mod:`repro.api` for use outside decorated code.
+"""
+
+OMP_API_METHODS = {
+    "omp_set_num_threads": "set_num_threads",
+    "omp_get_num_threads": "get_num_threads",
+    "omp_get_max_threads": "get_max_threads",
+    "omp_get_thread_num": "get_thread_num",
+    "omp_get_num_procs": "get_num_procs",
+    "omp_in_parallel": "in_parallel",
+    "omp_set_dynamic": "set_dynamic",
+    "omp_get_dynamic": "get_dynamic",
+    "omp_set_nested": "set_nested",
+    "omp_get_nested": "get_nested",
+    "omp_set_schedule": "set_schedule",
+    "omp_get_schedule": "get_schedule",
+    "omp_get_thread_limit": "get_thread_limit",
+    "omp_set_max_active_levels": "set_max_active_levels",
+    "omp_get_max_active_levels": "get_max_active_levels",
+    "omp_get_level": "get_level",
+    "omp_get_active_level": "get_active_level",
+    "omp_get_ancestor_thread_num": "get_ancestor_thread_num",
+    "omp_get_team_size": "get_team_size",
+    "omp_get_wtime": "get_wtime",
+    "omp_get_wtick": "get_wtick",
+    "omp_init_lock": "init_lock",
+    "omp_destroy_lock": "destroy_lock",
+    "omp_set_lock": "set_lock",
+    "omp_unset_lock": "unset_lock",
+    "omp_test_lock": "test_lock",
+    "omp_init_nest_lock": "init_nest_lock",
+    "omp_destroy_nest_lock": "destroy_nest_lock",
+    "omp_set_nest_lock": "set_nest_lock",
+    "omp_unset_nest_lock": "unset_nest_lock",
+    "omp_test_nest_lock": "test_nest_lock",
+    "omp_declare_reduction": "declare_reduction",
+    "omp_display_env": "display_env",
+}

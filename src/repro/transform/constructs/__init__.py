@@ -1,0 +1,57 @@
+"""Per-construct lowering rules, dispatched by directive name."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.directives.model import Directive
+from repro.errors import OmpSyntaxError
+from repro.transform.constructs import (loops, parallel, sections,
+                                        single_master, sync, taskloop,
+                                        tasks, threadprivate)
+from repro.transform.context import TransformContext
+
+_STRUCTURED = {
+    "parallel": parallel.handle_parallel,
+    "parallel for": parallel.handle_parallel_for,
+    "parallel sections": parallel.handle_parallel_sections,
+    "for": loops.handle_for,
+    "ordered": loops.handle_ordered,
+    "sections": sections.handle_sections,
+    "single": single_master.handle_single,
+    "master": single_master.handle_master,
+    "critical": sync.handle_critical,
+    "atomic": sync.handle_atomic,
+    "task": tasks.handle_task,
+    "taskloop": taskloop.handle_taskloop,
+}
+
+_STANDALONE = {
+    "barrier": sync.handle_barrier,
+    "taskwait": sync.handle_taskwait,
+    "flush": sync.handle_flush,
+    "threadprivate": threadprivate.handle_threadprivate,
+    "declare reduction": threadprivate.handle_declare_reduction,
+}
+
+
+def dispatch_structured(node: ast.With, directive: Directive,
+                        ctx: TransformContext) -> list[ast.stmt]:
+    if directive.name == "section":
+        raise OmpSyntaxError(
+            "'section' must appear directly inside a 'sections' block",
+            directive=directive.source)
+    handler = _STRUCTURED.get(directive.name)
+    if handler is None:  # pragma: no cover - spec and table are in sync
+        raise OmpSyntaxError(f"unsupported directive {directive.name!r}",
+                             directive=directive.source)
+    return handler(node, directive, ctx)
+
+
+def dispatch_standalone(node: ast.Expr, directive: Directive,
+                        ctx: TransformContext) -> list[ast.stmt]:
+    handler = _STANDALONE.get(directive.name)
+    if handler is None:  # pragma: no cover - spec and table are in sync
+        raise OmpSyntaxError(f"unsupported directive {directive.name!r}",
+                             directive=directive.source)
+    return handler(node, directive, ctx)

@@ -1,0 +1,200 @@
+"""Name-binding analysis over statement lists.
+
+The transformer needs to know, for the body of a structured block, which
+names are *assigned* (they become ``nonlocal``/``global`` when shared, or
+plain locals when they are new) and which are merely *read*.  The
+analysis follows Python scoping: nested ``def``/``class``/``lambda``
+bodies are separate scopes and do not contribute bindings, but the
+nested function's *name* is itself a binding, and comprehensions own
+their targets.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _target_names(target: ast.expr) -> Iterable[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+    # Attribute / Subscript targets do not bind names.
+
+
+class _AssignedVisitor(ast.NodeVisitor):
+    """Collects names bound in the current scope (no descent into
+    nested scopes).
+
+    ``exclude_ids`` skips specific statement subtrees — used to ask
+    "which names does this scope bind *outside* a directive block",
+    since the block's bindings move into the generated inner function.
+    """
+
+    def __init__(self, exclude_ids: frozenset[int] = frozenset()):
+        self.names: set[str] = set()
+        self.globals: set[str] = set()
+        self.nonlocals: set[str] = set()
+        self.exclude_ids = exclude_ids
+
+    def visit(self, node: ast.AST):
+        if id(node) in self.exclude_ids:
+            return None
+        return super().visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self.names.update(_target_names(target))
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.names.update(_target_names(node.target))
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.names.update(_target_names(node.target))
+        if node.value is not None:
+            self.visit(node.value)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        self.names.update(_target_names(node.target))
+        self.visit(node.value)
+
+    def visit_For(self, node: ast.For) -> None:
+        self.names.update(_target_names(node.target))
+        self.visit(node.iter)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.names.update(_target_names(item.optional_vars))
+        # The bodies of region-creating directives (parallel/task) move
+        # into generated inner functions, so their bindings are never
+        # bindings of *this* scope.  Worksharing blocks (for/sections/
+        # single/...) stay in this scope and are visited normally.
+        if _moves_to_inner_function(node):
+            return
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name is not None:
+            self.names.add(node.name)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.names.add(alias.asname or alias.name.split(".")[0])
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            self.names.add(alias.asname or alias.name)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.globals.update(node.names)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self.nonlocals.update(node.names)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.names.add(node.name)  # binding; body is a nested scope
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.names.add(node.name)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass  # nested scope
+
+    def visit_ListComp(self, node) -> None:
+        # Comprehension targets live in their own scope; only the first
+        # iterable is evaluated in the enclosing scope.
+        if node.generators:
+            self.visit(node.generators[0].iter)
+
+    visit_SetComp = visit_ListComp
+    visit_DictComp = visit_ListComp
+    visit_GeneratorExp = visit_ListComp
+
+
+def assigned_names(stmts: Iterable[ast.stmt],
+                   exclude_ids: frozenset[int] = frozenset()) -> set[str]:
+    """Names bound by the statements in their own scope."""
+    visitor = _AssignedVisitor(exclude_ids)
+    for stmt in stmts:
+        visitor.visit(stmt)
+    return visitor.names - visitor.globals
+
+
+def declared_globals(stmts: Iterable[ast.stmt]) -> set[str]:
+    visitor = _AssignedVisitor()
+    for stmt in stmts:
+        visitor.visit(stmt)
+    return visitor.globals
+
+
+def _moves_to_inner_function(node: ast.With) -> bool:
+    """Is this a ``with omp("parallel ...")`` / ``with omp("task ...")``
+    block, whose body the transformer relocates into an inner function?
+    """
+    if len(node.items) != 1 or node.items[0].optional_vars is not None:
+        return False
+    call = node.items[0].context_expr
+    if not (isinstance(call, ast.Call) and len(call.args) == 1
+            and isinstance(call.args[0], ast.Constant)
+            and isinstance(call.args[0].value, str)):
+        return False
+    func = call.func
+    name_ok = (isinstance(func, ast.Name)
+               and func.id in ("omp", "openmp")) or (
+        isinstance(func, ast.Attribute) and func.attr in ("omp", "openmp"))
+    if not name_ok:
+        return False
+    words = call.args[0].value.strip().lower().replace("_", " ").split()
+    return bool(words) and words[0] in ("parallel", "task", "taskloop")
+
+
+class _ReadVisitor(ast.NodeVisitor):
+    """Collects every Name read, including inside nested scopes (a
+    closure read of an outer variable still 'uses' it)."""
+
+    def __init__(self):
+        self.names: set[str] = set()
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.names.add(node.id)
+
+
+def read_names(stmts: Iterable[ast.stmt]) -> set[str]:
+    visitor = _ReadVisitor()
+    for stmt in stmts:
+        visitor.visit(stmt)
+    return visitor.names
+
+
+def function_params(node: ast.FunctionDef) -> set[str]:
+    params = {arg.arg for arg in (
+        node.args.posonlyargs + node.args.args + node.args.kwonlyargs)}
+    if node.args.vararg is not None:
+        params.add(node.args.vararg.arg)
+    if node.args.kwarg is not None:
+        params.add(node.args.kwarg.arg)
+    return params
+
+
+def function_bound_names(node: ast.FunctionDef) -> set[str]:
+    """Parameters plus names assigned anywhere in the function body."""
+    return function_params(node) | assigned_names(node.body)

@@ -1,0 +1,61 @@
+"""Tests of the sweep-comparison (regression detection) tool."""
+
+import json
+
+import pytest
+
+from repro.analysis.compare import CellDelta, compare, main, render
+
+
+def write_sweep(path, projected_by_key):
+    payload: dict = {}
+    for (app, series, threads), projected in projected_by_key.items():
+        payload.setdefault(app, []).append({
+            "app": app, "series": series, "threads": threads,
+            "wall_s": projected, "projected_s": projected,
+            "verified": True, "error": None})
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+class TestCompare:
+    def test_ratios(self, tmp_path):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        write_sweep(old, {("pi", "pure", 1): 1.0,
+                          ("pi", "pure", 4): 0.5})
+        write_sweep(new, {("pi", "pure", 1): 2.0,
+                          ("pi", "pure", 4): 0.4})
+        deltas = {(d.app, d.series, d.threads): d
+                  for d in compare(str(old), str(new))}
+        assert deltas["pi", "pure", 1].ratio == pytest.approx(2.0)
+        assert deltas["pi", "pure", 4].ratio == pytest.approx(0.8)
+
+    def test_missing_cells(self, tmp_path):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        write_sweep(old, {("pi", "pure", 1): 1.0})
+        write_sweep(new, {("pi", "hybrid", 1): 1.0})
+        deltas = compare(str(old), str(new))
+        assert len(deltas) == 2
+        assert any(d.ratio is None for d in deltas)
+
+    def test_render_flags_regressions(self):
+        deltas = [CellDelta("pi", "pure", 1, 1.0, 2.0),
+                  CellDelta("pi", "pure", 4, 1.0, 0.5),
+                  CellDelta("pi", "pure", 8, 1.0, 1.05)]
+        text, regressions = render(deltas, threshold=1.3)
+        assert regressions == 1
+        assert "REGRESSION" in text
+        assert "improved" in text
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        write_sweep(old, {("pi", "pure", 1): 1.0})
+        write_sweep(new, {("pi", "pure", 1): 1.0})
+        main([str(old), str(new)])
+        assert "0 regression(s)" in capsys.readouterr().out
+
+        write_sweep(new, {("pi", "pure", 1): 5.0})
+        with pytest.raises(SystemExit):
+            main([str(old), str(new)])

@@ -1,0 +1,84 @@
+"""Tests of the Table I static-characteristics extractor."""
+
+import pytest
+
+from repro.analysis.features import summarize, table1_rows
+
+
+def sample_kernel(n, threads):
+    from repro import omp
+    total = 0
+    with omp("parallel num_threads(threads)"):
+        with omp("for reduction(+:total)"):
+            for i in range(n):
+                total += i
+        with omp("single"):
+            pass
+    return total
+
+
+def barrier_kernel(n, threads):
+    from repro import omp
+    with omp("parallel"):
+        omp("barrier")
+
+
+def task_if_kernel(n, threads):
+    from repro import omp
+    with omp("parallel"):
+        with omp("single"):
+            with omp("task if(n > 10)"):
+                pass
+
+
+class TestSummarize:
+    def test_features_string(self):
+        row = summarize("sample", sample_kernel)
+        assert row.features == "parallel, for reduction(+), single"
+        assert row.synchronization == "Implicit barriers"
+
+    def test_explicit_barrier_detected(self):
+        row = summarize("b", barrier_kernel)
+        assert row.synchronization == "Explicit barrier"
+
+    def test_task_if_annotation(self):
+        row = summarize("t", task_if_kernel)
+        assert "task with if clause" in row.features
+
+    def test_directive_list_in_order(self):
+        row = summarize("sample", sample_kernel)
+        names = [d.name for d in row.directives]
+        assert names == ["parallel", "for", "single"]
+
+
+class TestTableOne:
+    """The extracted rows must match the paper's Table I."""
+
+    PAPER = {
+        "fft": ("parallel", "for"),
+        "jacobi": ("parallel", "for reduction(+)", "single"),
+        "lu": ("parallel", "multiple for loops", "single"),
+        "md": ("parallel reduction(+) with inner for", "parallel for"),
+        "pi": ("parallel for reduction(+)",),
+        "qsort": ("parallel", "single", "task with if clause"),
+        "bfs": ("parallel", "single", "task"),
+    }
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row.name: row for row in table1_rows()}
+
+    @pytest.mark.parametrize("name", list(PAPER))
+    def test_paper_features_present(self, rows, name):
+        extracted = rows[name].features
+        for feature in self.PAPER[name]:
+            if feature == "for":  # combined "parallel for" also counts
+                assert "for" in extracted
+            else:
+                assert feature in extracted, (
+                    f"{name}: {feature!r} not in {extracted!r}")
+
+    def test_synchronization_column(self, rows):
+        assert rows["jacobi"].synchronization == "Explicit barrier"
+        for name in ("fft", "lu", "md", "pi", "qsort", "bfs"):
+            assert rows[name].synchronization == "Implicit barriers"

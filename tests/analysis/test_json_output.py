@@ -1,0 +1,58 @@
+"""Tests of the report harness's machine-readable JSON output."""
+
+import json
+
+import pytest
+
+from repro.analysis import shapecheck
+from repro.analysis.report import main, points_to_json
+from repro.analysis.runner import SweepPoint
+from repro.analysis.timing import Measurement
+
+
+class TestPointsToJson:
+    def test_measurement_rows(self):
+        measurement = Measurement(wall=1.5, projected=0.5,
+                                  serialized_cpu=1.2, critical_cpu=0.4,
+                                  regions=2)
+        point = SweepPoint(app="pi", series="hybrid", threads=4,
+                           measurement=measurement, verified=True)
+        [row] = points_to_json([point])
+        assert row == {"app": "pi", "series": "hybrid", "threads": 4,
+                       "wall_s": 1.5, "projected_s": 0.5,
+                       "verified": True, "error": None}
+
+    def test_error_rows(self):
+        point = SweepPoint(app="bfs", series="pyomp", threads=2,
+                           measurement=None, verified=None,
+                           error="PyOMPInternalError: ...")
+        [row] = points_to_json([point])
+        assert row["wall_s"] is None
+        assert row["error"].startswith("PyOMPInternalError")
+
+
+class TestCliJson:
+    def test_fig5_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "fig5.json"
+        main(["fig5", "--apps", "pi", "--threads", "1",
+              "--profile", "test", "--json", str(path)])
+        capsys.readouterr()
+        data = json.loads(path.read_text())
+        assert set(data) == {"pi"}
+        series = {row["series"] for row in data["pi"]}
+        assert {"pure", "hybrid", "compiled", "compileddt",
+                "pyomp"} <= series
+        assert all(row["verified"] for row in data["pi"]
+                   if row["error"] is None)
+
+    def test_check_writes_json(self, tmp_path, monkeypatch, capsys):
+        path = tmp_path / "check.json"
+        monkeypatch.setattr(
+            shapecheck, "run_all",
+            lambda profile, repeats: [
+                shapecheck.ClaimResult("c1", True, "fine")])
+        main(["check", "--json", str(path)])
+        capsys.readouterr()
+        data = json.loads(path.read_text())
+        assert data == [{"claim": "c1", "passed": True,
+                         "detail": "fine"}]

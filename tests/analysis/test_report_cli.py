@@ -1,0 +1,59 @@
+"""Coverage of the remaining report CLI commands and chart rendering."""
+
+import pytest
+
+from repro.analysis.report import (build_parser, main,
+                                   render_speedup_chart)
+from repro.analysis.runner import SweepPoint
+from repro.analysis.timing import Measurement
+
+
+def _point(series, threads, projected):
+    measurement = Measurement(wall=projected, projected=projected,
+                              serialized_cpu=0, critical_cpu=0,
+                              regions=1)
+    return SweepPoint(app="x", series=series, threads=threads,
+                      measurement=measurement, verified=True)
+
+
+class TestChartRendering:
+    def test_bars_scale_with_speedup(self):
+        points = [_point("pure", 1, 1.0), _point("pure", 4, 0.25),
+                  _point("hybrid", 1, 1.0), _point("hybrid", 4, 0.5)]
+        chart = render_speedup_chart(points, [1, 4], ["pure", "hybrid"])
+        lines = chart.splitlines()
+        assert "4.00x" in lines[1]
+        assert "2.00x" in lines[2]
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_missing_series_skipped(self):
+        points = [_point("pure", 1, 1.0), _point("pure", 4, 0.5)]
+        chart = render_speedup_chart(points, [1, 4], ["pure", "pyomp"])
+        assert "pyomp" not in chart
+
+
+class TestCliCommands:
+    def test_fig6_runs(self, capsys):
+        main(["fig6", "--threads", "1,2", "--profile", "test"])
+        out = capsys.readouterr().out
+        assert "clustering" in out
+        assert "wordcount" in out
+        assert "PyOMPCompileError" in out
+
+    def test_headline_runs(self, capsys):
+        main(["headline", "--threads", "1,2", "--profile", "test",
+              "--apps", "pi,lu"])
+        out = capsys.readouterr().out
+        assert "Pure max self-speedup" in out
+        assert "CompiledDT vs Pure" in out
+        assert "paper:" in out
+
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.profile == "default"
+        assert args.threads == "1,2,4"
+        assert args.chunk == 300

@@ -1,0 +1,165 @@
+"""Tests of the timing harness, projection, and sweep runner."""
+
+import pytest
+
+from repro.analysis.runner import (SweepPoint, run_point, run_pyomp_point,
+                                   schedule_sweep, sweep)
+from repro.analysis.timing import measure, measure_mpi
+from repro.apps import get_app
+from repro.decorator import transform
+from repro.modes import Mode
+
+
+def busy_kernel(n, threads):
+    from repro import omp
+    total = 0
+    with omp("parallel for reduction(+:total) num_threads(threads)"):
+        for i in range(n):
+            total += i * i
+    return total
+
+
+class TestMeasure:
+    def test_measures_wall_and_projection(self):
+        fn = transform(busy_kernel, Mode.HYBRID)
+        measurement = measure(fn, 30000, 4)
+        assert measurement.wall > 0
+        assert 0 < measurement.projected <= measurement.wall * 1.01
+        assert measurement.regions == 1
+        assert measurement.value == sum(i * i for i in range(30000))
+
+    def test_projection_shrinks_with_threads(self):
+        fn = transform(busy_kernel, Mode.HYBRID)
+        one = measure(fn, 400000, 1, repeats=3)
+        four = measure(fn, 400000, 4, repeats=3)
+        # On any machine the projected 4-thread time must be clearly
+        # below the 1-thread time (load balance is near-perfect here);
+        # the generous bound keeps the test robust under suite-wide
+        # scheduling noise.
+        assert four.projected < one.projected * 0.75
+
+    def test_repeats_with_make_args(self):
+        fn = transform(busy_kernel, Mode.HYBRID)
+        calls = []
+
+        def make_args():
+            calls.append(1)
+            return (1000, 2), {}
+
+        measurement = measure(fn, repeats=3, make_args=make_args)
+        assert len(calls) == 3
+        assert measurement.value == sum(i * i for i in range(1000))
+
+    def test_pure_mode_uses_pure_runtime_stats(self):
+        fn = transform(busy_kernel, Mode.PURE)
+        measurement = measure(fn, 10000, 2)
+        assert measurement.regions == 1
+
+
+class TestMeasureMpi:
+    def test_projection_divides_by_nodes(self):
+        from repro.apps import jacobi_mpi
+        m1 = measure_mpi(jacobi_mpi.solve, 1, nodes=1, threads=2, n=48,
+                         iterations=50)
+        m2 = measure_mpi(jacobi_mpi.solve, 2, nodes=2, threads=2, n=48,
+                         iterations=50)
+        assert m1.projected > 0 and m2.projected > 0
+        assert m2.projected < m1.projected
+
+
+class TestRunner:
+    def test_run_point_verifies(self):
+        spec = get_app("pi")
+        reference = spec.sequential(**spec.inputs("test"))
+        point = run_point(spec, Mode.HYBRID, threads=2, profile="test",
+                          reference=reference)
+        assert point.verified is True
+        assert point.wall > 0
+
+    def test_sweep_produces_full_grid(self):
+        spec = get_app("pi")
+        points = sweep(spec, [1, 2], profile="test",
+                       modes=[Mode.HYBRID, Mode.COMPILED_DT])
+        series = {(p.series, p.threads) for p in points}
+        assert ("hybrid", 1) in series
+        assert ("compileddt", 2) in series
+        assert ("pyomp", 1) in series
+        assert all(p.verified for p in points if p.measurement)
+
+    def test_pyomp_point_records_documented_failure(self):
+        spec = get_app("wordcount")
+        point = run_pyomp_point(spec, threads=2, profile="test")
+        assert point.measurement is None
+        assert "PyOMPCompileError" in point.error
+
+    def test_pyomp_point_runs_supported_app(self):
+        spec = get_app("pi")
+        reference = spec.sequential(**spec.inputs("test"))
+        point = run_pyomp_point(spec, threads=2, profile="test",
+                                reference=reference)
+        assert point.error is None
+        assert point.verified is True
+
+    def test_schedule_sweep_restores_icv(self):
+        from repro.cruntime import cruntime
+        spec = get_app("wordcount")
+        grids = schedule_sweep(spec, [2], ("static", "dynamic"),
+                               chunk=8, profile="test",
+                               modes=[Mode.HYBRID])
+        assert set(grids) == {"static", "dynamic"}
+        assert cruntime.get_schedule() == ("static", None)
+
+
+class TestReportCli:
+    def test_table1_runs(self, capsys):
+        from repro.analysis.report import main
+        main(["table1"])
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "jacobi" in out
+
+    def test_fig5_single_app(self, capsys):
+        from repro.analysis.report import main
+        main(["fig5", "--apps", "pi", "--threads", "1,2",
+              "--profile", "test"])
+        out = capsys.readouterr().out
+        assert "pure" in out
+        assert "pyomp" in out
+
+    def test_fig7_speedups(self, capsys):
+        from repro.analysis.report import main
+        main(["fig7", "--threads", "1,2", "--profile", "test",
+              "--chunk", "8"])
+        out = capsys.readouterr().out
+        assert "dynamic" in out
+        assert "x" in out
+
+    def test_fig8(self, capsys):
+        from repro.analysis.report import main
+        main(["fig8", "--nodes", "1,2", "--threads", "2",
+              "--profile", "test"])
+        out = capsys.readouterr().out
+        assert "nodes" in out
+
+
+class TestMeasurementProperties:
+    def test_parallel_fraction(self):
+        from repro.analysis.timing import Measurement
+        measurement = Measurement(wall=2.0, projected=1.0,
+                                  serialized_cpu=1.5, critical_cpu=0.5,
+                                  regions=1)
+        assert measurement.parallel_fraction == 0.75
+
+    def test_parallel_fraction_clamped(self):
+        from repro.analysis.timing import Measurement
+        measurement = Measurement(wall=1.0, projected=1.0,
+                                  serialized_cpu=1.4, critical_cpu=0.5,
+                                  regions=1)
+        assert measurement.parallel_fraction == 1.0
+
+    def test_zero_wall(self):
+        from repro.analysis.timing import Measurement
+        measurement = Measurement(wall=0.0, projected=0.0,
+                                  serialized_cpu=0.0, critical_cpu=0.0,
+                                  regions=0)
+        assert measurement.parallel_fraction == 0.0

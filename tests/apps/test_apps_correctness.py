@@ -1,0 +1,189 @@
+"""Correctness of every benchmark app, in every execution mode,
+against independent references (NumPy/SciPy/NetworkX/stdlib)."""
+
+import collections
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.apps import get_app, list_apps
+from repro.modes import Mode
+
+APP_NAMES = list_apps()
+
+
+@pytest.fixture(scope="module")
+def references():
+    """Sequential reference outputs, computed once per app."""
+    cache = {}
+    for name in APP_NAMES:
+        spec = get_app(name)
+        cache[name] = spec.sequential(**spec.inputs("test"))
+    return cache
+
+
+class TestAllModesMatchSequential:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_modes(self, name, references, any_mode):
+        spec = get_app(name)
+        result = spec.run(any_mode, threads=3, profile="test")
+        assert spec.verify(result, references[name]), \
+            f"{name} mismatch in {any_mode.value}"
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_single_thread(self, name, references):
+        spec = get_app(name)
+        result = spec.run(Mode.HYBRID, threads=1, profile="test")
+        assert spec.verify(result, references[name])
+
+
+class TestIndependentReferences:
+    def test_pi_value(self):
+        import math
+        spec = get_app("pi")
+        result = spec.run(Mode.COMPILED_DT, threads=2, profile="test")
+        assert result == pytest.approx(math.pi, abs=1e-6)
+
+    def test_jacobi_solves_the_system(self):
+        spec = get_app("jacobi")
+        inputs = spec.inputs("test")
+        x = spec.run(Mode.HYBRID, threads=2, profile="test")
+        a = np.array(inputs["a"])
+        b = np.array(inputs["b"])
+        assert np.allclose(a @ np.asarray(x), b, atol=1e-3)
+
+    def test_lu_matches_scipy_reconstruction(self):
+        spec = get_app("lu")
+        result = np.array(spec.run(Mode.COMPILED_DT, threads=2,
+                                   profile="test"))
+        n = result.shape[0]
+        lower = np.tril(result, -1) + np.eye(n)
+        upper = np.triu(result)
+        from repro.apps.lu import make_matrix
+        original = np.array(make_matrix(n))
+        # scipy's permuted LU reconstructs the same matrix.
+        p, l_ref, u_ref = scipy.linalg.lu(original)
+        assert np.allclose(lower @ upper, p @ l_ref @ u_ref, atol=1e-6)
+
+    def test_fft_matches_numpy(self):
+        spec = get_app("fft")
+        inputs = spec.inputs("test")
+        signal = np.asarray(inputs["re"]) + 1j * np.asarray(inputs["im"])
+        re, im = spec.run(Mode.HYBRID, threads=2, profile="test")
+        got = np.asarray(re) + 1j * np.asarray(im)
+        assert np.allclose(got, np.fft.fft(signal), atol=1e-6)
+
+    def test_fft_dt_matches_numpy(self):
+        spec = get_app("fft")
+        inputs = spec.inputs("test", dt=True)
+        signal = inputs["re"] + 1j * inputs["im"]
+        re, im = spec.run(Mode.COMPILED_DT, threads=3, profile="test")
+        assert np.allclose(np.asarray(re) + 1j * np.asarray(im),
+                           np.fft.fft(signal), atol=1e-6)
+
+    def test_qsort_sorts(self):
+        spec = get_app("qsort")
+        inputs = spec.inputs("test")
+        result = spec.run(Mode.HYBRID, threads=4, profile="test")
+        assert result == sorted(inputs["data"])
+
+    def test_bfs_matches_networkx_reachability(self):
+        spec = get_app("bfs")
+        inputs = spec.inputs("test")
+        grid, n = inputs["grid"], inputs["n"]
+        graph = nx.Graph()
+        for row in range(n):
+            for col in range(n):
+                if grid[row][col] == 0:
+                    graph.add_node((row, col))
+                    for dr, dc in ((1, 0), (0, 1)):
+                        nr, nc = row + dr, col + dc
+                        if nr < n and nc < n and grid[nr][nc] == 0:
+                            graph.add_edge((row, col), (nr, nc))
+        reachable = nx.node_connected_component(graph, (0, 0))
+        reached, count = spec.run(Mode.HYBRID, threads=4, profile="test")
+        assert count == len(reachable)
+        assert reached == ((n - 1, n - 1) in reachable)
+
+    def test_clustering_matches_networkx(self):
+        from repro.apps.clustering import verify_against_networkx
+        spec = get_app("clustering")
+        inputs = spec.inputs("test")
+        result = spec.run(Mode.HYBRID, threads=3, profile="test")
+        assert verify_against_networkx(result, inputs["graph"],
+                                       inputs["nodes"])
+
+    def test_wordcount_matches_counter(self):
+        spec = get_app("wordcount")
+        inputs = spec.inputs("test")
+        expected = collections.Counter(
+            word for line in inputs["corpus"] for word in line.split())
+        result = spec.run(Mode.HYBRID, threads=4, profile="test")
+        assert result == dict(expected)
+
+    def test_md_conserves_energy_approximately(self):
+        spec = get_app("md")
+        potential, kinetic = spec.run(Mode.COMPILED_DT, threads=2,
+                                      profile="test")
+        assert potential > 0
+        assert kinetic > 0
+
+
+class TestSchedulingVariants:
+    """The fig7 kernels honour the runtime schedule ICV."""
+
+    @pytest.mark.parametrize("policy", ["static", "dynamic", "guided"])
+    def test_wordcount_all_policies(self, policy, references):
+        from repro.cruntime import cruntime
+        spec = get_app("wordcount")
+        cruntime.set_schedule(policy, 8)
+        try:
+            result = spec.run(Mode.HYBRID, threads=3, profile="test")
+        finally:
+            cruntime.set_schedule("static")
+        assert spec.verify(result, references["wordcount"])
+
+    @pytest.mark.parametrize("policy", ["static", "dynamic", "guided"])
+    def test_clustering_all_policies(self, policy, references):
+        from repro.cruntime import cruntime
+        spec = get_app("clustering")
+        cruntime.set_schedule(policy, 16)
+        try:
+            result = spec.run(Mode.HYBRID, threads=3, profile="test")
+        finally:
+            cruntime.set_schedule("static")
+        assert spec.verify(result, references["clustering"])
+
+
+class TestPyOMPBaselineBehaviour:
+    def test_supported_apps_compile(self):
+        for name in ("pi", "jacobi", "lu", "md", "fft"):
+            spec = get_app(name)
+            assert callable(spec.pyomp_variant())
+
+    def test_pi_pyomp_runs_correctly(self):
+        import math
+        spec = get_app("pi")
+        fn = spec.pyomp_variant()
+        inputs = spec.inputs("test", dt=True)
+        assert fn(threads=2, **inputs) == pytest.approx(math.pi,
+                                                        abs=1e-6)
+
+    @pytest.mark.parametrize("name,reason", [
+        ("qsort", "if clause"),
+        ("clustering", "Numba type"),
+        ("wordcount", "dict"),
+    ])
+    def test_unsupported_apps_fail_to_compile(self, name, reason):
+        from repro.pyomp import PyOMPCompileError
+        spec = get_app(name)
+        with pytest.raises(PyOMPCompileError, match=reason):
+            spec.pyomp_variant()
+
+    def test_bfs_fails_at_runtime(self):
+        from repro.pyomp import PyOMPInternalError
+        spec = get_app("bfs")
+        with pytest.raises(PyOMPInternalError, match="Numba"):
+            spec.pyomp_variant()

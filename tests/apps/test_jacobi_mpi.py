@@ -1,0 +1,51 @@
+"""Tests of the hybrid MPI/OpenMP Jacobi solver (Fig. 8's app)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import jacobi_mpi
+from repro.modes import Mode
+
+
+class TestHybridSolver:
+    @pytest.mark.parametrize("nodes", [1, 2, 3, 4])
+    def test_solution_independent_of_node_count(self, nodes):
+        x = jacobi_mpi.solve(nodes=nodes, threads=2, n=48,
+                             iterations=300, mode=Mode.HYBRID)
+        assert jacobi_mpi.verify(x, 48)
+
+    def test_all_modes(self, any_mode):
+        x = jacobi_mpi.solve(nodes=2, threads=2, n=48, iterations=300,
+                             mode=any_mode)
+        assert jacobi_mpi.verify(x, 48)
+
+    def test_uneven_row_distribution(self):
+        # 50 rows over 3 ranks: blocks of 17/17/16.
+        x = jacobi_mpi.solve(nodes=3, threads=2, n=50, iterations=300)
+        assert jacobi_mpi.verify(x, 50)
+
+    def test_matches_numpy_solution(self):
+        x = jacobi_mpi.solve(nodes=2, threads=1, n=32, iterations=500,
+                             tol=1e-10)
+        expected = jacobi_mpi.reference(32)
+        assert np.allclose(np.asarray(x), expected, atol=1e-6)
+
+    def test_block_bounds_cover_all_rows(self):
+        for n in (7, 48, 50, 100):
+            for size in (1, 2, 3, 4, 7):
+                covered = []
+                for rank in range(size):
+                    offset, rows = jacobi_mpi._block_bounds(n, size, rank)
+                    covered.extend(range(offset, offset + rows))
+                assert covered == list(range(n))
+
+    def test_ranks_are_independent_openmp_initial_threads(self):
+        """Each rank forks its own team (paper Section III-C)."""
+        from repro.cruntime import cruntime
+        cruntime.stats.reset()
+        jacobi_mpi.solve(nodes=2, threads=2, n=32, iterations=5,
+                         mode=Mode.HYBRID)
+        records = cruntime.stats.snapshot()
+        # 2 ranks x 5 iterations = 10 top-level regions of size 2.
+        assert len(records) == 10
+        assert all(record.size == 2 for record in records)

@@ -1,0 +1,156 @@
+"""Unit tests for the constant-folding and localization passes."""
+
+import ast
+
+import pytest
+
+from repro.compiler.passes.fold import FoldConstants
+from repro.compiler.passes.localize import LocalizeGlobals
+from repro.transform.context import TransformContext
+
+
+def fold_expr(source: str) -> ast.expr:
+    tree = ast.parse(source, mode="eval")
+    return FoldConstants().visit(tree).body
+
+
+class TestFoldConstants:
+    @pytest.mark.parametrize("source,expected", [
+        ("1 + 2", 3),
+        ("2 * 3 + 4", 10),
+        ("10 / 4", 2.5),
+        ("7 // 2", 3),
+        ("7 % 3", 1),
+        ("2 ** 8", 256),
+        ("1 << 4", 16),
+        ("0xff & 0x0f", 15),
+        ("-5", -5),
+        ("not True", False),
+        ("'a' + 'b'", "ab"),
+        ("(1 + 2) * (3 + 4)", 21),
+    ])
+    def test_folds(self, source, expected):
+        node = fold_expr(source)
+        assert isinstance(node, ast.Constant)
+        assert node.value == expected
+
+    def test_division_by_zero_left_unfolded(self):
+        node = fold_expr("1 / 0")
+        assert isinstance(node, ast.BinOp)
+
+    def test_names_not_folded(self):
+        node = fold_expr("x + 1")
+        assert isinstance(node, ast.BinOp)
+
+    def test_huge_results_not_folded(self):
+        node = fold_expr("2 ** 10000")
+        assert isinstance(node, ast.BinOp)
+
+    def test_huge_strings_not_folded(self):
+        node = fold_expr("'a' * 100000")
+        assert isinstance(node, ast.BinOp)
+
+
+def run_localize(source: str) -> str:
+    tree = ast.parse(source)
+    ctx = TransformContext("__omp0__", set(), set())
+    LocalizeGlobals(ctx).run(tree)
+    ast.fix_missing_locations(tree)
+    return ast.unparse(tree)
+
+
+class TestLocalizeGlobals:
+    def test_builtin_alias_created(self):
+        out = run_localize(
+            "def f(n):\n"
+            "    total = 0\n"
+            "    for i in range(n):\n"
+            "        total += len(str(i))\n"
+            "    return total\n")
+        assert "= range" in out
+        assert "= len" in out
+
+    def test_bound_builtin_not_aliased(self):
+        out = run_localize(
+            "def f(n):\n"
+            "    range = n\n"
+            "    return range\n")
+        assert out.count("range") == 2  # no alias introduced
+
+    def test_runtime_attribute_bound_once(self):
+        out = run_localize(
+            "def f(b):\n"
+            "    while __omp0__.for_next(b):\n"
+            "        pass\n")
+        assert "= __omp0__.for_next" in out
+        assert out.count("__omp0__.for_next") == 1
+
+    def test_semantics_preserved(self):
+        source = (
+            "def f(n):\n"
+            "    total = 0\n"
+            "    for i in range(n):\n"
+            "        total += len(str(i)) + abs(-i)\n"
+            "    return total\n")
+        plain: dict = {}
+        exec(source, plain)
+        optimized: dict = {}
+        exec(compile(run_localize(source), "<t>", "exec"), optimized)
+        assert plain["f"](100) == optimized["f"](100)
+
+    def test_nested_functions_localize_in_own_scope(self):
+        out = run_localize(
+            "def f(n):\n"
+            "    def g(m):\n"
+            "        return len(str(m))\n"
+            "    return g(n)\n")
+        compiled = compile(out, "<t>", "exec")
+        namespace: dict = {}
+        exec(compiled, namespace)
+        assert namespace["f"](12) == 2
+
+    def test_docstring_stays_first(self):
+        out = run_localize(
+            "def f(n):\n"
+            "    'doc'\n"
+            "    return range(n)\n")
+        tree = ast.parse(out)
+        first = tree.body[0].body[0]
+        assert isinstance(first, ast.Expr)
+        assert first.value.value == "doc"
+
+
+class TestLocalizeProloguePlacement:
+    def test_nonlocal_declarations_stay_first(self):
+        source = (
+            "def outer():\n"
+            "    x = 0\n"
+            "    def f(n):\n"
+            "        nonlocal x\n"
+            "        for i in range(n):\n"
+            "            x += len(str(i))\n"
+            "    f(3)\n"
+            "    return x\n")
+        out = run_localize(source)
+        tree = ast.parse(out)
+        inner = tree.body[0].body[1]
+        assert isinstance(inner.body[0], ast.Nonlocal)
+        namespace: dict = {}
+        exec(compile(out, "<t>", "exec"), namespace)
+        assert namespace["outer"]() == 3
+
+    def test_prologue_binds_before_loops(self):
+        out = run_localize(
+            "def f(n):\n"
+            "    total = 0\n"
+            "    for i in range(n):\n"
+            "        total += len(str(i))\n"
+            "    return total\n")
+        tree = ast.parse(out)
+        body = tree.body[0].body
+        # Aliases come before the first loop.
+        loop_index = next(i for i, stmt in enumerate(body)
+                          if isinstance(stmt, ast.For))
+        aliases = [stmt for stmt in body[:loop_index]
+                   if isinstance(stmt, ast.Assign)]
+        assert len(aliases) >= 2

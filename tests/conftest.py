@@ -1,0 +1,59 @@
+"""Shared fixtures: compiling directive-bearing functions from source.
+
+The ``@omp`` decorator reads source via :mod:`inspect`, so dynamically
+built test functions must live in a real file.  ``omp_compile`` writes
+the source into a per-test module under ``tmp_path``, imports it, and
+transforms the requested function for a given mode.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import itertools
+import sys
+
+import pytest
+
+from repro import Mode, transform
+
+_MODULE_COUNTER = itertools.count()
+
+
+@pytest.fixture
+def omp_compile(tmp_path):
+    """Factory: ``omp_compile(source, name, mode=Mode.HYBRID)``.
+
+    ``source`` must define a plain function ``name`` (the fixture adds
+    the needed imports on top); the transformed function is returned.
+    """
+
+    def compile_source(source: str, name: str, mode=Mode.HYBRID, **kwargs):
+        index = next(_MODULE_COUNTER)
+        module_name = f"omp_test_module_{index}"
+        path = tmp_path / f"{module_name}.py"
+        path.write_text(
+            "from repro import *\nimport math\n\n" + source,
+            encoding="utf-8")
+        spec = importlib.util.spec_from_file_location(module_name, path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[module_name] = module
+        try:
+            spec.loader.exec_module(module)
+            return transform(getattr(module, name), mode, **kwargs)
+        finally:
+            sys.modules.pop(module_name, None)
+
+    return compile_source
+
+
+@pytest.fixture(params=[Mode.PURE, Mode.HYBRID],
+                ids=["pure", "hybrid"])
+def runtime_mode(request):
+    """Both interpreted modes — runtime-semantics tests run under each."""
+    return request.param
+
+
+@pytest.fixture(params=list(Mode), ids=[m.value for m in Mode])
+def any_mode(request):
+    """All four execution modes."""
+    return request.param

@@ -1,0 +1,97 @@
+"""Smoke tests: every example script runs and produces sane output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, expect_rc: int = 0):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == expect_rc, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "200000")
+        assert "3.14159" in out
+        assert "compileddt" in out
+
+    def test_fibonacci_tasks(self):
+        out = run_example("fibonacci_tasks.py", "15", "3")
+        assert "fibonacci(15) = 610" in out
+
+    def test_wordcount_scheduling(self):
+        out = run_example("wordcount_scheduling.py", "400", "3")
+        assert "dynamic" in out
+        assert "guided" in out
+
+    def test_hybrid_mpi_jacobi(self):
+        out = run_example("hybrid_mpi_jacobi.py", "64", "2")
+        assert "nodes" in out
+        for nodes in ("1", "2", "4"):
+            assert f"\n     {nodes}" in out or f" {nodes} " in out
+
+    def test_advanced_directives(self):
+        out = run_example("advanced_directives.py")
+        assert "elephant" in out          # declare reduction
+        assert "[64, 64, 64, 64]" in out  # copyprivate broadcast
+        assert "locks:           True" in out
+
+    def test_wavefront_dependences(self):
+        out = run_example("wavefront_dependences.py", "4", "8")
+        assert "matches sequential" in out
+        assert "taskloop row checksums" in out
+
+
+class TestArtifactDriver:
+    def test_pi_compileddt(self):
+        out = run_example("main.py", "3", "pi", "2", "test")
+        assert "[ok]" in out
+
+    def test_maze_alias(self):
+        out = run_example("main.py", "1", "maze", "2", "test")
+        assert "bfs" in out
+        assert "[ok]" in out
+
+    def test_pyomp_mode_on_supported_app(self):
+        out = run_example("main.py", "-1", "pi", "2", "test")
+        assert "pyomp" in out
+        assert "[ok]" in out
+
+    def test_pyomp_mode_on_unsupported_app(self):
+        out = run_example("main.py", "-1", "wordcount", "2", "test",
+                          expect_rc=1)
+        assert "cannot run" in out
+
+    def test_usage_message(self):
+        out = run_example("main.py", expect_rc=2)
+        assert "Usage" in out or "mode" in out
+
+    def test_jacobi_mpi_driver(self):
+        out = run_example("main.py", "1", "jacobi-mpi", "2", "test")
+        assert "jacobi-mpi" in out
+
+
+class TestReproduceDriver:
+    def test_smoke_run_writes_all_artifacts(self, tmp_path):
+        root = pathlib.Path(__file__).resolve().parents[2]
+        result = subprocess.run(
+            [sys.executable, str(root / "benchmarks" / "reproduce.py"),
+             "--profile", "test", "--threads", "1,2", "--nodes", "1,2",
+             "--apps", "pi", "--skip-check",
+             "--out", str(tmp_path / "results")],
+            capture_output=True, text=True, timeout=600)
+        assert result.returncode == 0, result.stderr
+        written = {p.name for p in (tmp_path / "results").iterdir()}
+        assert written >= {"table1.txt", "fig5.txt", "fig6.txt",
+                           "fig7.txt", "fig8.txt", "headline.txt"}
+        fig5 = (tmp_path / "results" / "fig5.txt").read_text()
+        assert "pi" in fig5
+        assert "self-speedup" in fig5

@@ -1,0 +1,168 @@
+"""Failure injection: errors in regions, tasks, and worksharing must
+surface cleanly and never poison the runtime for later work."""
+
+import pytest
+
+from repro import Mode, transform
+from repro.cruntime import cruntime
+from repro.errors import OmpRuntimeError
+from repro.runtime import pure_runtime
+
+
+def failing_in_loop(n, bomb_at):
+    from repro import omp
+    total = 0
+    with omp("parallel for reduction(+:total) num_threads(3)"):
+        for i in range(n):
+            if i == bomb_at:
+                raise ValueError(f"bomb at {i}")
+            total += 1
+    return total
+
+
+def failing_in_task(n):
+    from repro import omp
+    with omp("parallel num_threads(2)"):
+        with omp("single"):
+            with omp("task"):
+                raise RuntimeError("task bomb")
+            omp("taskwait")
+
+
+def failing_in_single(n):
+    from repro import omp
+    with omp("parallel num_threads(3)"):
+        with omp("single"):
+            raise KeyError("single bomb")
+
+
+def healthy_sum(n):
+    from repro import omp
+    total = 0
+    with omp("parallel for reduction(+:total) num_threads(3)"):
+        for i in range(n):
+            total += i
+    return total
+
+
+@pytest.fixture(params=["pure", "hybrid"])
+def mode(request):
+    return request.param
+
+
+class TestErrorSurfacing:
+    def test_loop_body_error_reraises_with_cause(self, mode):
+        fn = transform(failing_in_loop, mode)
+        with pytest.raises(OmpRuntimeError) as excinfo:
+            fn(100, 50)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_task_error_reraises_at_join(self, mode):
+        fn = transform(failing_in_task, mode)
+        with pytest.raises(OmpRuntimeError) as excinfo:
+            fn(0)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_single_error_does_not_deadlock_team(self, mode):
+        fn = transform(failing_in_single, mode)
+        with pytest.raises(OmpRuntimeError):
+            fn(0)
+
+
+class TestRuntimeRecovery:
+    def test_runtime_healthy_after_loop_error(self, mode):
+        bomb = transform(failing_in_loop, mode)
+        healthy = transform(healthy_sum, mode)
+        with pytest.raises(OmpRuntimeError):
+            bomb(100, 10)
+        assert healthy(100) == sum(range(100))
+
+    def test_runtime_healthy_after_task_error(self, mode):
+        bomb = transform(failing_in_task, mode)
+        healthy = transform(healthy_sum, mode)
+        for _round in range(3):
+            with pytest.raises(OmpRuntimeError):
+                bomb(0)
+            assert healthy(50) == sum(range(50))
+
+    def test_contexts_unwound_after_errors(self, mode):
+        rt = pure_runtime if mode == "pure" else cruntime
+        bomb = transform(failing_in_single, mode)
+        with pytest.raises(OmpRuntimeError):
+            bomb(0)
+        # The initial thread's context must be back to serial state.
+        assert rt.get_level() == 0
+        assert not rt.in_parallel()
+        assert rt.get_num_threads() == 1
+
+    def test_repeated_failures_leak_no_threads(self, mode):
+        import threading
+        bomb = transform(failing_in_loop, mode)
+        baseline = threading.active_count()
+        for _round in range(5):
+            with pytest.raises(OmpRuntimeError):
+                bomb(30, 0)
+        assert threading.active_count() <= baseline + 1
+
+
+def failing_before_copyprivate(n):
+    from repro import omp
+    value = None
+    with omp("parallel num_threads(3) private(value)"):
+        with omp("single copyprivate(value)"):
+            raise ValueError("died before publishing")
+        _ = value
+
+
+def failing_inside_ordered(n):
+    from repro import omp
+    out = []
+    with omp("parallel for ordered num_threads(3) schedule(dynamic, 1)"):
+        for i in range(n):
+            with omp("ordered"):
+                if i == 2:
+                    raise RuntimeError("ordered bomb")
+                out.append(i)
+    return out
+
+
+def failing_dependence_producer(n):
+    from repro import omp
+    cell = [0]
+    with omp("parallel num_threads(2)"):
+        with omp("single"):
+            with omp("task depend(out: cell)"):
+                raise ValueError("producer bomb")
+            with omp("task depend(in: cell)"):
+                cell[0] = 1
+    return cell[0]
+
+
+class TestSynchronizationTeardown:
+    """A dying thread must never strand peers in any waiting
+    construct (broken-team semantics)."""
+
+    def test_copyprivate_publisher_dies(self, mode):
+        fn = transform(failing_before_copyprivate, mode)
+        with pytest.raises(OmpRuntimeError):
+            fn(0)
+
+    def test_ordered_producer_dies(self, mode):
+        fn = transform(failing_inside_ordered, mode)
+        with pytest.raises(OmpRuntimeError):
+            fn(10)
+
+    def test_dependence_producer_dies(self, mode):
+        fn = transform(failing_dependence_producer, mode)
+        with pytest.raises(OmpRuntimeError):
+            fn(0)
+
+    def test_all_teardowns_leave_runtime_healthy(self, mode):
+        healthy = transform(healthy_sum, mode)
+        for bomb_source in (failing_before_copyprivate,
+                            failing_inside_ordered,
+                            failing_dependence_producer):
+            bomb = transform(bomb_source, mode)
+            with pytest.raises(OmpRuntimeError):
+                bomb(10)
+            assert healthy(40) == sum(range(40))

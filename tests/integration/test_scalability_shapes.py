@@ -1,0 +1,109 @@
+"""Shape tests: the qualitative claims of the paper's evaluation hold
+in the projected measurements (who wins, and roughly by how much)."""
+
+import pytest
+
+from repro.analysis.runner import run_point, run_pyomp_point, sweep
+from repro.analysis.timing import measure
+from repro.apps import get_app
+from repro.decorator import transform
+from repro.modes import Mode
+
+
+class TestModeOrdering:
+    """Paper Section IV-A / artifact appendix: the expected performance
+    ordering is CompiledDT fastest, Pure slowest."""
+
+    def test_compileddt_beats_pure_on_pi(self):
+        spec = get_app("pi")
+        pure = run_point(spec, Mode.PURE, 2, "default")
+        fast = run_point(spec, Mode.COMPILED_DT, 2, "default")
+        # Paper: up to three orders of magnitude; insist on >= 5x even
+        # at this compact problem size.
+        assert fast.wall * 5 < pure.wall
+
+    def test_pyomp_close_to_compileddt_on_pi(self):
+        spec = get_app("pi")
+        reference = spec.sequential(**spec.inputs("default"))
+        dt = run_point(spec, Mode.COMPILED_DT, 2, "default",
+                       reference=reference)
+        baseline = run_pyomp_point(spec, 2, "default",
+                                   reference=reference)
+        assert baseline.error is None
+        # Paper: within ~5%; allow a generous factor-2 band for noise.
+        assert baseline.wall < dt.wall * 2
+        assert dt.wall < baseline.wall * 2
+
+    def test_nonnumerical_modes_are_similar(self):
+        """Fig. 6's shape: no mode wins big on wordcount."""
+        spec = get_app("wordcount")
+        walls = {}
+        for mode in (Mode.PURE, Mode.COMPILED_DT):
+            walls[mode] = run_point(spec, mode, 2, "default",
+                                    repeats=2).wall
+        ratio = walls[Mode.PURE] / walls[Mode.COMPILED_DT]
+        assert 0.4 < ratio < 2.5
+
+
+class TestProjectionScaling:
+    """The projected (no-GIL) times must scale with threads, which is
+    what Fig. 5's curves show."""
+
+    @pytest.mark.parametrize("app", ["pi", "jacobi"])
+    def test_projected_time_drops_with_threads(self, app):
+        spec = get_app(app)
+        points = {p.threads: p for p in sweep(
+            spec, [1, 4], profile="default", modes=[Mode.HYBRID],
+            include_pyomp=False, verify=False)}
+        assert points[4].projected < points[1].projected * 0.45
+
+    def test_wall_time_does_not_scale_under_gil(self):
+        """Sanity check of the projection's premise on this hardware:
+        measured wall time shows no speedup (documenting exactly why
+        the projection column exists)."""
+        spec = get_app("pi")
+        points = {p.threads: p for p in sweep(
+            spec, [1, 4], profile="default", modes=[Mode.PURE],
+            include_pyomp=False, verify=False)}
+        import os
+        if (os.cpu_count() or 1) == 1:
+            assert points[4].wall > points[1].wall * 0.7
+
+
+class TestLoadBalanceShapes:
+    """Fig. 7's core claim: dynamic scheduling beats static under load
+    imbalance (here: a triangular workload)."""
+
+    def test_dynamic_has_shorter_critical_path_than_static(self):
+        # A large triangle: with 4 threads, unchunked static gives the
+        # last thread ~44% of the work, while dynamic,8 balances to
+        # ~25% + handout overhead.  Needs enough work (~100ms) for
+        # per-thread CPU attribution to dominate GIL-quantum noise.
+        results = {}
+        fn = transform(_triangular, Mode.HYBRID)
+        for kind in ("static", "dynamic"):
+            results[kind] = measure(fn, 2200, kind, 4, repeats=3)
+        static, dynamic = results["static"], results["dynamic"]
+        # Identical total work...
+        assert static.serialized_cpu == pytest.approx(
+            dynamic.serialized_cpu, rel=0.35)
+        # ...but dynamic spreads the triangle across the team.
+        assert dynamic.critical_cpu < static.critical_cpu * 0.8
+
+
+def _triangular(n, kind, threads):
+    from repro import omp
+    total = 0
+    if kind == "static":
+        with omp("parallel for schedule(static) num_threads(threads) "
+                 "reduction(+:total)"):
+            for i in range(n):
+                for j in range(i):
+                    total += j
+    else:
+        with omp("parallel for schedule(dynamic, 8) "
+                 "num_threads(threads) reduction(+:total)"):
+            for i in range(n):
+                for j in range(i):
+                    total += j
+    return total

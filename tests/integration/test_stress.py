@@ -1,0 +1,119 @@
+"""Stress tests: sustained region churn, wide teams, task storms, and
+mixed-runtime workloads."""
+
+import threading
+
+import pytest
+
+from repro import Mode, transform
+from repro.cruntime import cruntime
+from repro.errors import OmpTransformError
+from repro.runtime import pure_runtime
+
+
+def small_region(n):
+    from repro import omp
+    total = 0
+    with omp("parallel for reduction(+:total) num_threads(2)"):
+        for i in range(n):
+            total += 1
+    return total
+
+
+def wide_team():
+    from repro import omp, omp_get_thread_num
+    seen = []
+    with omp("parallel num_threads(16)"):
+        with omp("critical"):
+            seen.append(omp_get_thread_num())
+    return sorted(seen)
+
+
+def task_storm(count):
+    from repro import omp
+    done = []
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            for i in range(count):
+                with omp("task firstprivate(i)"):
+                    with omp("critical"):
+                        done.append(i)
+    return len(done)
+
+
+class TestRegionChurn:
+    def test_hundreds_of_sequential_regions(self, runtime_mode):
+        fn = transform(small_region, runtime_mode)
+        for _round in range(150):
+            assert fn(10) == 10
+
+    def test_no_thread_leak_across_regions(self, runtime_mode):
+        fn = transform(small_region, runtime_mode)
+        fn(10)
+        baseline = threading.active_count()
+        for _round in range(50):
+            fn(10)
+        assert threading.active_count() <= baseline + 1
+
+
+class TestWideTeams:
+    def test_sixteen_member_team(self, runtime_mode):
+        fn = transform(wide_team, runtime_mode)
+        assert fn() == list(range(16))
+
+
+class TestTaskStorm:
+    def test_thousand_tasks_complete(self, runtime_mode):
+        fn = transform(task_storm, runtime_mode)
+        assert fn(1000) == 1000
+
+
+class TestMixedRuntimeUse:
+    def test_pure_and_hybrid_interleaved(self):
+        pure_fn = transform(small_region, Mode.PURE)
+        hybrid_fn = transform(small_region, Mode.HYBRID)
+        for _round in range(20):
+            assert pure_fn(25) == 25
+            assert hybrid_fn(25) == 25
+        # Both runtimes recorded their own regions independently.
+        pure_runtime.stats.reset()
+        cruntime.stats.reset()
+        pure_fn(5)
+        hybrid_fn(5)
+        assert len(pure_runtime.stats.snapshot()) == 1
+        assert len(cruntime.stats.snapshot()) == 1
+
+    def test_concurrent_external_threads_using_one_runtime(self):
+        fn = transform(small_region, Mode.HYBRID)
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            value = fn(200)
+            with lock:
+                results.append(value)
+
+        workers = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert results == [200] * 4
+
+
+class TestAsyncFunctions:
+    def test_async_functions_transform_and_run(self, omp_compile):
+        """An async def with directives works: the parallel region runs
+        synchronously within the coroutine (the paper's external-thread
+        rule covers event-loop threads as initial threads)."""
+        import asyncio
+        fn = omp_compile(
+            "async def subject(n):\n"
+            "    total = 0\n"
+            "    with omp('parallel for reduction(+:total) "
+            "num_threads(2)'):\n"
+            "        for i in range(n):\n"
+            "            total += 1\n"
+            "    return total\n",
+            "subject")
+        assert asyncio.run(fn(37)) == 37

@@ -1,0 +1,25 @@
+"""Shared helpers for property tests (no test definitions here)."""
+
+import importlib.util
+import itertools
+import sys
+
+from repro import transform
+
+_COUNTER = itertools.count()
+
+
+def compile_from_source(source: str, name: str, tmp_dir, mode):
+    """Write ``source`` to a real file, import it, transform ``name``."""
+    index = next(_COUNTER)
+    module_name = f"omp_prop_module_{index}"
+    path = tmp_dir / f"{module_name}.py"
+    path.write_text("from repro import *\n\n" + source, encoding="utf-8")
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    try:
+        spec.loader.exec_module(module)
+        return transform(getattr(module, name), mode)
+    finally:
+        sys.modules.pop(module_name, None)

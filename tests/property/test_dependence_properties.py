@@ -1,0 +1,113 @@
+"""Property tests for the Section V prototypes: random dependence DAGs
+execute topologically, and taskloop partitions exactly."""
+
+import threading
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cruntime import cruntime
+from repro.runtime import pure_runtime
+
+RUNTIMES = {"pure": pure_runtime, "cruntime": cruntime}
+
+
+@st.composite
+def random_dags(draw):
+    """A random DAG over k tasks: edges only from lower to higher ids."""
+    count = draw(st.integers(2, 10))
+    edges = []
+    for target in range(1, count):
+        predecessors = draw(st.lists(
+            st.integers(0, target - 1), max_size=3, unique=True))
+        edges.extend((source, target) for source in predecessors)
+    return count, edges
+
+
+class TestDependenceDAGs:
+    @settings(max_examples=30, deadline=None)
+    @given(dag=random_dags(), threads=st.integers(1, 4),
+           which=st.sampled_from(["pure", "cruntime"]))
+    def test_completion_respects_topological_order(self, dag, threads,
+                                                   which):
+        count, edges = dag
+        rt = RUNTIMES[which]
+        # One dependence handle per edge: task s writes it, t reads it.
+        handles = {edge: object() for edge in edges}
+        finished: list[int] = []
+        lock = threading.Lock()
+
+        def make_task(task_id):
+            def body():
+                with lock:
+                    finished.append(task_id)
+            return body
+
+        def region():
+            state = rt.single_begin()
+            if state.selected:
+                for task_id in range(count):
+                    outs = tuple(handles[e] for e in edges
+                                 if e[0] == task_id)
+                    ins = tuple(handles[e] for e in edges
+                                if e[1] == task_id)
+                    rt.task_submit(make_task(task_id),
+                                   depends_in=ins, depends_out=outs)
+            rt.single_end(state)
+
+        rt.parallel_run(region, num_threads=threads)
+        assert sorted(finished) == list(range(count))
+        position = {task_id: index
+                    for index, task_id in enumerate(finished)}
+        for source, target in edges:
+            assert position[source] < position[target], (
+                f"edge {source}->{target} violated: order {finished}")
+
+    @settings(max_examples=20, deadline=None)
+    @given(length=st.integers(1, 15), threads=st.integers(1, 4))
+    def test_inout_chain_is_totally_ordered(self, length, threads):
+        rt = pure_runtime
+        cell = object()
+        order: list[int] = []
+        lock = threading.Lock()
+
+        def make_task(index):
+            def body():
+                with lock:
+                    order.append(index)
+            return body
+
+        def region():
+            state = rt.single_begin()
+            if state.selected:
+                for index in range(length):
+                    rt.task_submit(make_task(index),
+                                   depends_in=(cell,),
+                                   depends_out=(cell,))
+            rt.single_end(state)
+
+        rt.parallel_run(region, num_threads=threads)
+        assert order == list(range(length))
+
+
+class TestTaskloopPartition:
+    @settings(max_examples=25, deadline=None)
+    @given(total=st.integers(0, 60), grain=st.integers(1, 12),
+           threads=st.integers(1, 4))
+    def test_grains_cover_exactly_once(self, total, grain, threads,
+                                       tmp_path_factory):
+        from tests.property.helpers import compile_from_source
+        source = f'''
+def subject(n, threads):
+    hits = []
+    with omp("parallel num_threads(threads)"):
+        with omp("single"):
+            with omp("taskloop grainsize({grain})"):
+                for i in range(n):
+                    with omp("critical"):
+                        hits.append(i)
+    return sorted(hits)
+'''
+        tmp_dir = tmp_path_factory.mktemp("taskloop")
+        fn = compile_from_source(source, "subject", tmp_dir, "hybrid")
+        assert fn(total, threads) == list(range(total))

@@ -1,0 +1,103 @@
+"""Property tests: mini-MPI collectives agree with their sequential
+definitions for arbitrary rank counts and payloads."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.mpi import mpirun
+
+rank_counts = st.integers(1, 5)
+payloads = st.lists(st.integers(-1000, 1000), min_size=5, max_size=5)
+
+
+class TestCollectiveProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(nprocs=rank_counts, values=payloads)
+    def test_allgather_is_rank_ordered(self, nprocs, values):
+        def main(comm):
+            return comm.allgather(values[comm.rank])
+
+        expected = values[:nprocs]
+        for result in mpirun(nprocs, main):
+            assert result == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(nprocs=rank_counts, values=payloads)
+    def test_allreduce_sum(self, nprocs, values):
+        def main(comm):
+            return comm.allreduce(values[comm.rank])
+
+        expected = sum(values[:nprocs])
+        assert mpirun(nprocs, main) == [expected] * nprocs
+
+    @settings(max_examples=25, deadline=None)
+    @given(nprocs=rank_counts, values=payloads,
+           root=st.integers(0, 4))
+    def test_bcast_from_any_root(self, nprocs, values, root):
+        root = root % nprocs
+
+        def main(comm):
+            payload = values if comm.rank == root else None
+            return comm.bcast(payload, root=root)
+
+        assert mpirun(nprocs, main) == [values] * nprocs
+
+    @settings(max_examples=25, deadline=None)
+    @given(nprocs=rank_counts, values=payloads)
+    def test_scatter_gather_roundtrip(self, nprocs, values):
+        def main(comm):
+            blocks = ([values[rank] for rank in range(comm.size)]
+                      if comm.rank == 0 else None)
+            mine = comm.scatter(blocks, root=0)
+            return comm.gather(mine, root=0)
+
+        results = mpirun(nprocs, main)
+        assert results[0] == values[:nprocs]
+        assert all(r is None for r in results[1:])
+
+    @settings(max_examples=20, deadline=None)
+    @given(nprocs=rank_counts,
+           block=st.integers(1, 4),
+           seed=st.integers(0, 1000))
+    def test_Allgather_equals_concatenation(self, nprocs, block, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(nprocs, block))
+
+        def main(comm):
+            out = np.empty(nprocs * block)
+            comm.Allgather(np.ascontiguousarray(data[comm.rank]), out)
+            return out
+
+        expected = data.ravel()
+        for result in mpirun(nprocs, main):
+            np.testing.assert_allclose(result, expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(nprocs=rank_counts, seed=st.integers(0, 1000))
+    def test_Allreduce_equals_numpy_sum(self, nprocs, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(nprocs, 6))
+
+        def main(comm):
+            out = np.empty(6)
+            comm.Allreduce(np.ascontiguousarray(data[comm.rank]), out)
+            return out
+
+        expected = data.sum(axis=0)
+        for result in mpirun(nprocs, main):
+            np.testing.assert_allclose(result, expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(nprocs=st.integers(2, 5), rounds=st.integers(1, 4))
+    def test_repeated_collectives_stay_consistent(self, nprocs, rounds):
+        def main(comm):
+            history = []
+            for round_index in range(rounds):
+                history.append(
+                    comm.allreduce(comm.rank * 10 + round_index))
+            return history
+
+        base = sum(rank * 10 for rank in range(nprocs))
+        expected = [base + nprocs * r for r in range(rounds)]
+        assert mpirun(nprocs, main) == [expected] * nprocs

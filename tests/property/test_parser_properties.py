@@ -1,0 +1,114 @@
+"""Property tests over the directive parser: round-trips, clause-order
+invariance, and no-crash fuzzing."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.directives import parse_directive
+from repro.errors import OmpSyntaxError
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+
+varlists = st.lists(identifiers, min_size=1, max_size=4, unique=True)
+
+
+@st.composite
+def parallel_directives(draw):
+    """Random valid parallel directives with non-conflicting clauses."""
+    names = draw(st.lists(identifiers, min_size=3, max_size=9,
+                          unique=True))
+    pool = list(names)
+    clauses = []
+    if draw(st.booleans()):
+        clauses.append(f"num_threads({draw(st.integers(1, 64))})")
+    if draw(st.booleans()) and pool:
+        take = draw(st.integers(1, min(2, len(pool))))
+        chosen, pool = pool[:take], pool[take:]
+        clauses.append(f"private({', '.join(chosen)})")
+    if draw(st.booleans()) and pool:
+        take = draw(st.integers(1, min(2, len(pool))))
+        chosen, pool = pool[:take], pool[take:]
+        clauses.append(f"firstprivate({', '.join(chosen)})")
+    if draw(st.booleans()) and pool:
+        op = draw(st.sampled_from(["+", "*", "min", "max", "&&"]))
+        chosen, pool = pool[:1], pool[1:]
+        clauses.append(f"reduction({op}: {chosen[0]})")
+    order = draw(st.permutations(clauses))
+    return "parallel " + " ".join(order)
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(text=parallel_directives())
+    def test_str_reparses_equivalently(self, text):
+        first = parse_directive(text)
+        second = parse_directive(str(first))
+        assert second.name == first.name
+        assert sorted(str(c) for c in second.clauses) == sorted(
+            str(c) for c in first.clauses)
+
+    @settings(max_examples=60, deadline=None)
+    @given(text=parallel_directives())
+    def test_clause_order_does_not_matter(self, text):
+        directive = parse_directive(text)
+        reversed_text = "parallel " + " ".join(
+            str(c) for c in reversed(directive.clauses))
+        again = parse_directive(reversed_text)
+        assert sorted(str(c) for c in again.clauses) == sorted(
+            str(c) for c in directive.clauses)
+
+    @settings(max_examples=60, deadline=None)
+    @given(names=varlists)
+    def test_private_vars_preserved(self, names):
+        directive = parse_directive(f"parallel private({', '.join(names)})")
+        assert directive.clause_vars("private") == tuple(names)
+
+
+class TestFuzzing:
+    @settings(max_examples=150, deadline=None)
+    @given(text=st.text(
+        alphabet="parleshcdufo ()+:,;*&|^_019", max_size=40))
+    def test_never_crashes_only_omp_syntax_errors(self, text):
+        """Arbitrary garbage either parses or raises OmpSyntaxError."""
+        try:
+            parse_directive(text)
+        except OmpSyntaxError:
+            pass
+
+    @settings(max_examples=80, deadline=None)
+    @given(text=st.text(max_size=30))
+    def test_fully_arbitrary_text(self, text):
+        try:
+            parse_directive(text)
+        except OmpSyntaxError:
+            pass
+
+    @settings(max_examples=50, deadline=None)
+    @given(junk=st.text(alphabet="():,;", max_size=10))
+    def test_valid_prefix_with_junk_suffix(self, junk):
+        try:
+            parse_directive("parallel " + junk)
+        except OmpSyntaxError:
+            pass
+
+
+class TestWhitespaceInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(spaces=st.integers(1, 5))
+    def test_extra_spaces(self, spaces):
+        gap = " " * spaces
+        directive = parse_directive(
+            f"parallel{gap}for{gap}reduction(+:{gap}x{gap}){gap}ordered")
+        assert directive.name == "parallel for"
+        assert directive.has_clause("ordered")
+
+    def test_nowait_invalid_on_combined_directive(self):
+        # OpenMP: combined parallel-worksharing forms take no nowait
+        # (the region end is the only barrier).
+        with pytest.raises(OmpSyntaxError, match="nowait"):
+            parse_directive("parallel for nowait")
+
+    def test_tabs_and_newlines(self):
+        directive = parse_directive("parallel\tfor\nreduction(+: x)")
+        assert directive.name == "parallel for"

@@ -1,0 +1,104 @@
+"""Property tests: parallel reductions equal the sequential fold for
+any operator, any data, any team size and chunking."""
+
+import math
+import operator
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cruntime import cruntime
+from repro.runtime import pure_runtime
+from repro.runtime import reduction
+
+RUNTIMES = {"pure": pure_runtime, "cruntime": cruntime}
+
+_FOLDS = {
+    "+": operator.add,
+    "*": operator.mul,
+    "&": operator.and_,
+    "|": operator.or_,
+    "^": operator.xor,
+    "min": min,
+    "max": max,
+}
+
+
+def parallel_reduce(rt, op, values, threads, chunk):
+    """Emulate the generated reduction pattern by hand."""
+    box = {"out": reduction.reduction_init(op)}
+
+    def region():
+        local = reduction.reduction_init(op)
+        bounds = rt.for_bounds([0, len(values), 1])
+        rt.for_init(bounds, kind="dynamic", chunk=chunk)
+        while rt.for_next(bounds):
+            for index in range(bounds[0], bounds[1]):
+                local = reduction.reduction_combine(op, local,
+                                                    values[index])
+        rt.mutex_lock()
+        try:
+            box["out"] = reduction.reduction_combine(op, box["out"],
+                                                     local)
+        finally:
+            rt.mutex_unlock()
+        rt.for_end(bounds)
+
+    rt.parallel_run(region, num_threads=threads)
+    return box["out"]
+
+
+class TestIntegerOperators:
+    @settings(max_examples=50, deadline=None)
+    @given(op=st.sampled_from(["+", "*", "&", "|", "^", "min", "max"]),
+           values=st.lists(st.integers(-100, 100), max_size=40),
+           threads=st.integers(1, 4), chunk=st.integers(1, 7),
+           which=st.sampled_from(["pure", "cruntime"]))
+    def test_matches_sequential_fold(self, op, values, threads, chunk,
+                                     which):
+        expected = reduction.reduction_init(op)
+        for value in values:
+            expected = _FOLDS[op](expected, value)
+        result = parallel_reduce(RUNTIMES[which], op, values, threads,
+                                 chunk)
+        assert result == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.booleans(), max_size=30),
+           threads=st.integers(1, 4))
+    def test_logical_operators(self, values, threads):
+        conj = parallel_reduce(pure_runtime, "&&", values, threads, 3)
+        disj = parallel_reduce(pure_runtime, "||", values, threads, 3)
+        assert conj == all(values)
+        assert disj == any(values)
+
+
+class TestFloatSum:
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False), max_size=40),
+        threads=st.integers(1, 4))
+    def test_sum_within_fp_tolerance(self, values, threads):
+        result = parallel_reduce(pure_runtime, "+", values, threads, 4)
+        expected = math.fsum(values)
+        assert result == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+class TestDeclaredReduction:
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(st.lists(st.integers(0, 9), max_size=3),
+                           max_size=15),
+           threads=st.integers(1, 4))
+    def test_list_concat_collects_everything(self, values, threads):
+        # Concatenation is not commutative, but the multiset of
+        # collected elements must always match.
+        try:
+            reduction.declare_reduction(
+                "cat_prop", lambda out, val: out + val, list)
+        except Exception:
+            pass  # already declared by a previous example
+        result = parallel_reduce(pure_runtime, "cat_prop", values,
+                                 threads, 2)
+        expected = [item for sub in values for item in sub]
+        assert sorted(result) == sorted(expected)

@@ -1,0 +1,112 @@
+"""Property-based tests: every scheduler partitions every iteration
+space into exactly-once coverage, for arbitrary ranges and teams."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cruntime import cruntime
+from repro.runtime import pure_runtime
+from repro.runtime.worksharing import trip_count
+
+RUNTIMES = {"pure": pure_runtime, "cruntime": cruntime}
+
+ranges = st.tuples(
+    st.integers(-50, 50),                      # start
+    st.integers(-50, 50),                      # stop
+    st.integers(-7, 7).filter(lambda s: s != 0))  # step
+
+schedules = st.one_of(
+    st.tuples(st.just("static"), st.none()),
+    st.tuples(st.just("static"), st.integers(1, 9)),
+    st.tuples(st.just("dynamic"), st.integers(1, 9)),
+    st.tuples(st.just("guided"), st.integers(1, 9)),
+)
+
+
+def drive(rt, start, stop, step, kind, chunk, threads):
+    per_thread: dict[int, list[int]] = {}
+
+    def region():
+        mine: list[int] = []
+        bounds = rt.for_bounds([start, stop, step])
+        rt.for_init(bounds, kind=kind, chunk=chunk)
+        while rt.for_next(bounds):
+            mine.extend(range(bounds[0], bounds[1], step))
+        rt.for_end(bounds)
+        per_thread[rt.get_thread_num()] = mine
+
+    rt.parallel_run(region, num_threads=threads)
+    return per_thread
+
+
+class TestPartitionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(triplet=ranges, schedule=schedules, threads=st.integers(1, 5),
+           which=st.sampled_from(["pure", "cruntime"]))
+    def test_exactly_once_coverage(self, triplet, schedule, threads,
+                                   which):
+        start, stop, step = triplet
+        kind, chunk = schedule
+        per_thread = drive(RUNTIMES[which], start, stop, step, kind,
+                           chunk, threads)
+        everything = sorted(
+            value for mine in per_thread.values() for value in mine)
+        assert everything == sorted(range(start, stop, step))
+
+    @settings(max_examples=40, deadline=None)
+    @given(triplet=ranges, threads=st.integers(1, 5))
+    def test_static_is_deterministic(self, triplet, threads):
+        start, stop, step = triplet
+        first = drive(pure_runtime, start, stop, step, "static", None,
+                      threads)
+        second = drive(pure_runtime, start, stop, step, "static", None,
+                       threads)
+        assert first == second
+
+    @settings(max_examples=40, deadline=None)
+    @given(triplet=ranges, chunk=st.integers(1, 9),
+           threads=st.integers(1, 4))
+    def test_static_chunks_round_robin_invariant(self, triplet, chunk,
+                                                 threads):
+        """Chunk k of the iteration sequence belongs to thread k % T."""
+        start, stop, step = triplet
+        per_thread = drive(pure_runtime, start, stop, step, "static",
+                           chunk, threads)
+        sequence = list(range(start, stop, step))
+        expected: dict[int, list[int]] = {t: [] for t in range(threads)}
+        for index, value in enumerate(sequence):
+            expected[(index // chunk) % threads].append(value)
+        assert per_thread == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(triplet=ranges)
+    def test_trip_count_matches_len_range(self, triplet):
+        start, stop, step = triplet
+        assert trip_count(start, stop, step) == len(range(start, stop,
+                                                          step))
+
+
+class TestCollapseDivisors:
+    @settings(max_examples=50, deadline=None)
+    @given(trips=st.lists(st.integers(1, 6), min_size=2, max_size=4))
+    def test_divmod_recovery_is_bijective(self, trips):
+        """Index recovery from the linearized space hits every tuple."""
+        bounds = pure_runtime.for_bounds(
+            [value for count in trips for value in (0, count, 1)])
+        divisors = pure_runtime.collapse_divisors(bounds)
+        total = 1
+        for count in trips:
+            total *= count
+        seen = set()
+        for linear in range(total):
+            remainder = linear
+            indices = []
+            for divisor in divisors:
+                quotient, remainder = divmod(remainder, divisor)
+                indices.append(quotient)
+            indices.append(remainder)
+            seen.add(tuple(indices))
+        assert len(seen) == total
+        assert all(
+            all(0 <= index < count for index, count in zip(combo, trips))
+            for combo in seen)

@@ -1,0 +1,93 @@
+"""Property tests over the whole transform+runtime stack: randomly
+generated directive programs must compute what their sequential
+stripped-down versions compute."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import Mode
+
+from tests.property.helpers import compile_from_source
+
+
+@st.composite
+def reduction_programs(draw):
+    """A random parallel-for reduction over a random polynomial."""
+    op, identity, pyop = draw(st.sampled_from([
+        ("+", "0", "+"), ("*", "1", "*")]))
+    coefficient = draw(st.integers(1, 3))
+    offset = draw(st.integers(0, 3))
+    schedule = draw(st.sampled_from(
+        ["", " schedule(static, 3)", " schedule(dynamic, 2)",
+         " schedule(guided)"]))
+    threads = draw(st.integers(1, 4))
+    term = f"(i % 3 * {coefficient} + {offset})"
+    source = f'''
+def subject(n):
+    acc = {identity}
+    with omp("parallel for reduction({op}:acc) "
+             "num_threads({threads}){schedule}"):
+        for i in range(n):
+            acc {pyop}= {term}
+    return acc
+'''
+    def reference(n):
+        acc = int(identity)
+        for i in range(n):
+            if pyop == "+":
+                acc += (i % 3 * coefficient + offset)
+            else:
+                acc *= (i % 3 * coefficient + offset)
+        return acc
+
+    return source, reference
+
+
+class TestRandomReductionPrograms:
+    @settings(max_examples=25, deadline=None)
+    @given(program=reduction_programs(), n=st.integers(0, 30),
+           mode=st.sampled_from([Mode.PURE, Mode.HYBRID]))
+    def test_matches_reference(self, program, n, mode, tmp_path_factory):
+        source, reference = program
+        tmp_dir = tmp_path_factory.mktemp("props")
+        fn = compile_from_source(source, "subject", tmp_dir, mode)
+        assert fn(n) == reference(n)
+
+
+@st.composite
+def privatization_programs(draw):
+    """Random data-sharing clause mixes over a fixed computation."""
+    x_clause = draw(st.sampled_from(
+        ["private(x)", "firstprivate(x)", ""]))
+    threads = draw(st.integers(1, 4))
+    source = f'''
+def subject(n):
+    x = 100
+    out = []
+    with omp("parallel num_threads({threads}) {x_clause}"):
+        x = omp_get_thread_num()
+        with omp("critical"):
+            out.append(x)
+    return x, sorted(out)
+'''
+    shared = x_clause == ""
+    return source, threads, shared
+
+
+class TestRandomPrivatization:
+    @settings(max_examples=20, deadline=None)
+    @given(program=privatization_programs(),
+           mode=st.sampled_from([Mode.PURE, Mode.HYBRID]))
+    def test_outer_value_semantics(self, program, mode,
+                                   tmp_path_factory):
+        source, threads, shared = program
+        tmp_dir = tmp_path_factory.mktemp("props")
+        fn = compile_from_source(source, "subject", tmp_dir, mode)
+        outer, collected = fn(0)
+        assert collected == list(range(threads))
+        if shared:
+            # Shared: the outer variable holds some thread's id.
+            assert outer in range(threads)
+        else:
+            # Privatized: the outer variable is untouched.
+            assert outer == 100

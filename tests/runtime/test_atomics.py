@@ -1,0 +1,159 @@
+"""Unit and concurrency tests for the atomics substrate."""
+
+import threading
+
+import pytest
+
+from repro.atomics import AtomicLong, AtomicRef, atomic_setdefault, cas_attr
+
+
+class TestAtomicLong:
+    def test_initial_value(self):
+        assert AtomicLong().load() == 0
+        assert AtomicLong(7).load() == 7
+
+    def test_store_and_load(self):
+        cell = AtomicLong()
+        cell.store(42)
+        assert cell.load() == 42
+
+    def test_swap_returns_old(self):
+        cell = AtomicLong(1)
+        assert cell.swap(2) == 1
+        assert cell.load() == 2
+
+    def test_fetch_add_returns_previous(self):
+        cell = AtomicLong(10)
+        assert cell.fetch_add(5) == 10
+        assert cell.load() == 15
+
+    def test_fetch_add_default_delta(self):
+        cell = AtomicLong()
+        cell.fetch_add()
+        assert cell.load() == 1
+
+    def test_fetch_add_negative(self):
+        cell = AtomicLong(3)
+        assert cell.fetch_add(-3) == 3
+        assert cell.load() == 0
+
+    def test_compare_exchange_success(self):
+        cell = AtomicLong(5)
+        assert cell.compare_exchange(5, 9)
+        assert cell.load() == 9
+
+    def test_compare_exchange_failure(self):
+        cell = AtomicLong(5)
+        assert not cell.compare_exchange(4, 9)
+        assert cell.load() == 5
+
+    def test_concurrent_fetch_add_is_linearizable(self):
+        cell = AtomicLong()
+        per_thread, threads = 2000, 8
+
+        def bump():
+            for _ in range(per_thread):
+                cell.fetch_add(1)
+
+        workers = [threading.Thread(target=bump) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert cell.load() == per_thread * threads
+
+    def test_concurrent_cas_claims_are_unique(self):
+        cell = AtomicLong(0)
+        winners = []
+        lock = threading.Lock()
+
+        def claim(tid):
+            if cell.compare_exchange(0, tid):
+                with lock:
+                    winners.append(tid)
+
+        workers = [threading.Thread(target=claim, args=(i,))
+                   for i in range(1, 17)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert len(winners) == 1
+        assert cell.load() == winners[0]
+
+
+class TestAtomicRef:
+    def test_identity_comparison(self):
+        marker_a, marker_b = object(), object()
+        cell = AtomicRef(marker_a)
+        # Equal-but-not-identical values must not satisfy the CAS.
+        assert not AtomicRef([1]).compare_exchange([1], marker_b)
+        assert cell.compare_exchange(marker_a, marker_b)
+        assert cell.load() is marker_b
+
+    def test_swap(self):
+        first, second = object(), object()
+        cell = AtomicRef(first)
+        assert cell.swap(second) is first
+        assert cell.load() is second
+
+    def test_store(self):
+        cell = AtomicRef()
+        value = object()
+        cell.store(value)
+        assert cell.load() is value
+
+
+class TestCasAttr:
+    class Node:
+        def __init__(self):
+            self.next = None
+
+    def test_success_and_failure(self):
+        node = self.Node()
+        other = self.Node()
+        assert cas_attr(node, "next", None, other)
+        assert node.next is other
+        assert not cas_attr(node, "next", None, self.Node())
+        assert node.next is other
+
+    def test_concurrent_single_winner(self):
+        node = self.Node()
+        wins = AtomicLong()
+
+        def try_link():
+            if cas_attr(node, "next", None, object()):
+                wins.fetch_add(1)
+
+        workers = [threading.Thread(target=try_link) for _ in range(16)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert wins.load() == 1
+
+
+class TestAtomicSetdefault:
+    def test_first_wins(self):
+        table = {}
+        first = atomic_setdefault(table, "k", "a")
+        second = atomic_setdefault(table, "k", "b")
+        assert first == "a"
+        assert second == "a"
+
+    def test_concurrent_slot_creation_single_winner(self):
+        table = {}
+        results = []
+        lock = threading.Lock()
+
+        def create():
+            slot = atomic_setdefault(table, "slot", object())
+            with lock:
+                results.append(slot)
+
+        workers = [threading.Thread(target=create) for _ in range(16)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(r is results[0] for r in results)

@@ -1,0 +1,121 @@
+"""Tests specific to the native-runtime simulation's primitives."""
+
+import threading
+
+import pytest
+
+from repro.cruntime.lowlevel import CEvent, NativeLowLevel
+from repro.runtime.lowlevel import PureLowLevel
+from repro.runtime.tasking import TaskNode, TaskQueue
+
+
+class TestCEvent:
+    def test_initially_clear(self):
+        assert not CEvent().is_set()
+
+    def test_set_and_wait(self):
+        event = CEvent()
+        event.set()
+        assert event.is_set()
+        assert event.wait(timeout=0.01)
+
+    def test_clear(self):
+        event = CEvent()
+        event.set()
+        event.clear()
+        assert not event.is_set()
+        assert not event.wait(timeout=0.01)
+
+    def test_wait_wakes_on_set(self):
+        event = CEvent()
+        results = []
+
+        def waiter():
+            results.append(event.wait(timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        event.set()
+        thread.join(timeout=5.0)
+        assert results == [True]
+
+    def test_double_set_is_idempotent(self):
+        event = CEvent()
+        event.set()
+        event.set()
+        assert event.is_set()
+
+
+class TestQueueAppendImplementations:
+    """The two linking protocols must produce identical queues."""
+
+    @pytest.mark.parametrize("lowlevel", [PureLowLevel(),
+                                          NativeLowLevel()],
+                             ids=["mutex", "cas"])
+    def test_sequential_append_order(self, lowlevel):
+        queue = TaskQueue(lowlevel)
+        nodes = [TaskNode(None, None, lowlevel) for _ in range(10)]
+        for node in nodes:
+            queue.append(node)
+        walked = []
+        current = queue.head.next
+        while current is not None:
+            walked.append(current)
+            current = current.next
+        assert walked == nodes
+
+    @pytest.mark.parametrize("lowlevel", [PureLowLevel(),
+                                          NativeLowLevel()],
+                             ids=["mutex", "cas"])
+    def test_concurrent_appends_lose_nothing(self, lowlevel):
+        queue = TaskQueue(lowlevel)
+        per_thread = 300
+        threads = 6
+
+        def producer():
+            for _ in range(per_thread):
+                queue.append(TaskNode(None, None, lowlevel))
+
+        workers = [threading.Thread(target=producer)
+                   for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        count = 0
+        current = queue.head.next
+        while current is not None:
+            count += 1
+            current = current.next
+        assert count == per_thread * threads
+
+
+class TestSlotCreation:
+    @pytest.mark.parametrize("lowlevel", [PureLowLevel(),
+                                          NativeLowLevel()],
+                             ids=["mutex", "swap"])
+    def test_single_winner_under_contention(self, lowlevel):
+        table: dict = {}
+        lock = lowlevel.make_mutex()
+        created = []
+        results = []
+        results_lock = threading.Lock()
+
+        def factory():
+            slot = object()
+            created.append(slot)
+            return slot
+
+        def contender():
+            slot = lowlevel.slot_get_or_create(table, lock, "key",
+                                               factory)
+            with results_lock:
+                results.append(slot)
+
+        workers = [threading.Thread(target=contender) for _ in range(12)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(slot is results[0] for slot in results)
+        assert table["key"] is results[0]

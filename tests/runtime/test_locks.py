@@ -1,0 +1,153 @@
+"""Tests of the OpenMP lock API (simple and nestable locks)."""
+
+import threading
+
+import pytest
+
+from repro.cruntime import cruntime
+from repro.errors import OmpRuntimeError
+from repro.runtime import pure_runtime
+
+
+@pytest.fixture(params=["pure", "cruntime"])
+def rt(request):
+    return pure_runtime if request.param == "pure" else cruntime
+
+
+class TestSimpleLock:
+    def test_set_unset(self, rt):
+        lock = rt.init_lock()
+        rt.set_lock(lock)
+        rt.unset_lock(lock)
+        rt.destroy_lock(lock)
+
+    def test_test_lock_when_free(self, rt):
+        lock = rt.init_lock()
+        assert rt.test_lock(lock) is True
+        rt.unset_lock(lock)
+
+    def test_test_lock_when_held_elsewhere(self, rt):
+        lock = rt.init_lock()
+        holder = threading.Thread(target=lambda: rt.set_lock(lock))
+        holder.start()
+        holder.join()
+        assert rt.test_lock(lock) is False
+
+    def test_use_after_destroy(self, rt):
+        lock = rt.init_lock()
+        rt.destroy_lock(lock)
+        with pytest.raises(OmpRuntimeError):
+            rt.set_lock(lock)
+
+    def test_mutual_exclusion(self, rt):
+        lock = rt.init_lock()
+        counter = {"value": 0}
+
+        def bump():
+            for _ in range(500):
+                rt.set_lock(lock)
+                counter["value"] += 1
+                rt.unset_lock(lock)
+
+        workers = [threading.Thread(target=bump) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert counter["value"] == 2000
+
+
+class TestNestLock:
+    def test_owner_can_renest(self, rt):
+        lock = rt.init_nest_lock()
+        rt.set_nest_lock(lock)
+        rt.set_nest_lock(lock)
+        rt.unset_nest_lock(lock)
+        rt.unset_nest_lock(lock)
+
+    def test_test_returns_nesting_count(self, rt):
+        lock = rt.init_nest_lock()
+        assert rt.test_nest_lock(lock) == 1
+        assert rt.test_nest_lock(lock) == 2
+        rt.unset_nest_lock(lock)
+        rt.unset_nest_lock(lock)
+
+    def test_test_fails_when_held_elsewhere(self, rt):
+        lock = rt.init_nest_lock()
+        holder = threading.Thread(target=lambda: rt.set_nest_lock(lock))
+        holder.start()
+        holder.join()
+        assert rt.test_nest_lock(lock) == 0
+
+    def test_unset_by_non_owner_rejected(self, rt):
+        lock = rt.init_nest_lock()
+        rt.set_nest_lock(lock)
+        error: list = []
+
+        def other():
+            try:
+                rt.unset_nest_lock(lock)
+            except OmpRuntimeError as exc:
+                error.append(exc)
+
+        worker = threading.Thread(target=other)
+        worker.start()
+        worker.join()
+        assert error
+        rt.unset_nest_lock(lock)
+
+    def test_released_lock_acquirable_by_other_thread(self, rt):
+        lock = rt.init_nest_lock()
+        rt.set_nest_lock(lock)
+        rt.unset_nest_lock(lock)
+        acquired = []
+
+        def other():
+            acquired.append(rt.test_nest_lock(lock))
+
+        worker = threading.Thread(target=other)
+        worker.start()
+        worker.join()
+        assert acquired == [1]
+
+
+class TestCritical:
+    def test_named_criticals_are_independent(self, rt):
+        rt.critical_enter("alpha")
+        # A different name must not block.
+        done = []
+
+        def other():
+            rt.critical_enter("beta")
+            done.append(True)
+            rt.critical_exit("beta")
+
+        worker = threading.Thread(target=other)
+        worker.start()
+        worker.join(timeout=5)
+        rt.critical_exit("alpha")
+        assert done == [True]
+
+    def test_same_name_excludes(self, rt):
+        counter = {"value": 0}
+
+        def region():
+            for _ in range(200):
+                rt.critical_enter("")
+                counter["value"] += 1
+                rt.critical_exit("")
+
+        rt.parallel_run(region, num_threads=4)
+        assert counter["value"] == 800
+
+    def test_atomic_mutex(self, rt):
+        counter = {"value": 0}
+
+        def region():
+            for _ in range(200):
+                rt.atomic_enter()
+                counter["value"] += 1
+                rt.atomic_exit()
+
+        rt.parallel_run(region, num_threads=4)
+        assert counter["value"] == 800

@@ -1,0 +1,93 @@
+"""Tests of reduction operators and ``declare reduction``."""
+
+import math
+
+import pytest
+
+from repro.errors import OmpRuntimeError
+from repro.runtime import reduction
+
+
+class TestBuiltinOperators:
+    @pytest.mark.parametrize("op,identity", [
+        ("+", 0), ("-", 0), ("*", 1), ("&", -1), ("|", 0), ("^", 0),
+        ("&&", True), ("||", False), ("and", True), ("or", False),
+        ("min", math.inf), ("max", -math.inf),
+    ])
+    def test_identities(self, op, identity):
+        assert reduction.reduction_init(op) == identity
+
+    def test_add_combine(self):
+        assert reduction.reduction_combine("+", 3, 4) == 7
+
+    def test_minus_merges_with_addition(self):
+        # Private copies accumulate their own subtractions from 0; the
+        # partial sums then add (OpenMP's definition of the - reduction).
+        partials = [-3, -5]
+        total = 100
+        out = total
+        for partial in partials:
+            out = reduction.reduction_combine("-", out, partial)
+        assert out == 92
+
+    def test_mult_combine(self):
+        assert reduction.reduction_combine("*", 6, 7) == 42
+
+    def test_bitwise(self):
+        assert reduction.reduction_combine("&", 0b1100, 0b1010) == 0b1000
+        assert reduction.reduction_combine("|", 0b1100, 0b1010) == 0b1110
+        assert reduction.reduction_combine("^", 0b1100, 0b1010) == 0b0110
+
+    def test_logical(self):
+        assert reduction.reduction_combine("&&", True, False) is False
+        assert reduction.reduction_combine("||", False, True) is True
+
+    def test_min_max(self):
+        assert reduction.reduction_combine("min", 3, -1) == -1
+        assert reduction.reduction_combine("max", 3, -1) == 3
+
+    def test_min_identity_folds_correctly(self):
+        out = reduction.reduction_init("min")
+        for value in [5, 2, 9]:
+            out = reduction.reduction_combine("min", out, value)
+        assert out == 2
+
+    def test_unknown_operator(self):
+        with pytest.raises(OmpRuntimeError, match="unknown reduction"):
+            reduction.reduction_init("frob")
+
+
+class TestDeclareReduction:
+    def test_declare_and_use(self):
+        reduction.declare_reduction(
+            "strcat_test", lambda out, value: out + value, lambda: "")
+        assert reduction.reduction_init("strcat_test") == ""
+        assert reduction.reduction_combine("strcat_test", "a", "b") == "ab"
+
+    def test_requires_initializer(self):
+        with pytest.raises(OmpRuntimeError, match="initializer"):
+            reduction.declare_reduction("noinit_test",
+                                        lambda a, b: a + b, None)
+
+    def test_rejects_builtin_names(self):
+        with pytest.raises(OmpRuntimeError, match="built-in"):
+            reduction.declare_reduction("min", lambda a, b: a, lambda: 0)
+
+    def test_rejects_invalid_identifier(self):
+        with pytest.raises(OmpRuntimeError, match="invalid"):
+            reduction.declare_reduction("not valid", lambda a, b: a,
+                                        lambda: 0)
+
+    def test_initializer_called_per_init(self):
+        calls = []
+
+        def initializer():
+            calls.append(1)
+            return []
+
+        reduction.declare_reduction(
+            "listcat_test", lambda out, value: out + value, initializer)
+        first = reduction.reduction_init("listcat_test")
+        second = reduction.reduction_init("listcat_test")
+        assert first is not second
+        assert len(calls) == 2

@@ -1,0 +1,91 @@
+"""Tests of the work-accounting (no-GIL projection) substrate."""
+
+import time
+
+import pytest
+
+from repro.runtime import pure_runtime
+from repro.runtime.stats import RegionRecord, StatsCollector
+
+
+class TestRegionRecord:
+    def test_sums_and_max(self):
+        record = RegionRecord(3, [1.0, 2.0, 3.0])
+        assert record.sum_cpu == 6.0
+        assert record.max_cpu == 3.0
+
+    def test_empty(self):
+        record = RegionRecord(0, [])
+        assert record.sum_cpu == 0.0
+        assert record.max_cpu == 0.0
+
+
+class TestStatsCollector:
+    def test_reset_clears(self):
+        collector = StatsCollector()
+        collector.record([1.0])
+        collector.reset()
+        assert collector.snapshot() == []
+
+    def test_totals(self):
+        collector = StatsCollector()
+        collector.record([1.0, 3.0])
+        collector.record([2.0, 2.0])
+        serialized, critical, count = collector.totals()
+        assert serialized == 8.0
+        assert critical == 5.0
+        assert count == 2
+
+    def test_projection_formula(self):
+        collector = StatsCollector()
+        collector.record([1.0, 1.0, 1.0, 1.0])
+        # Wall 5s, 4s of serialized compute, 1s critical path:
+        # projected = 5 - 4 + 1 = 2.
+        assert collector.project(5.0) == pytest.approx(2.0)
+
+    def test_projection_never_below_critical_path(self):
+        collector = StatsCollector()
+        collector.record([2.0, 0.5])
+        assert collector.project(1.0) == pytest.approx(2.0)
+
+    def test_projection_without_regions_is_wall(self):
+        collector = StatsCollector()
+        assert collector.project(3.0) == pytest.approx(3.0)
+
+
+class TestRuntimeIntegration:
+    def test_regions_are_recorded_with_cpu_times(self):
+        pure_runtime.stats.reset()
+
+        def burn():
+            deadline = time.thread_time() + 0.02
+            while time.thread_time() < deadline:
+                pass
+
+        pure_runtime.parallel_run(burn, num_threads=2)
+        records = pure_runtime.stats.snapshot()
+        assert len(records) == 1
+        assert records[0].size == 2
+        assert all(cpu >= 0.015 for cpu in records[0].cpu_times)
+
+    def test_nested_regions_record_only_top_level(self):
+        pure_runtime.stats.reset()
+        pure_runtime.set_nested(True)
+        try:
+            def inner():
+                pass
+
+            def outer():
+                pure_runtime.parallel_run(inner, num_threads=2)
+
+            pure_runtime.parallel_run(outer, num_threads=2)
+        finally:
+            pure_runtime.set_nested(False)
+        records = pure_runtime.stats.snapshot()
+        assert len(records) == 1
+
+    def test_sequential_regions_accumulate(self):
+        pure_runtime.stats.reset()
+        for _ in range(3):
+            pure_runtime.parallel_run(lambda: None, num_threads=2)
+        assert len(pure_runtime.stats.snapshot()) == 3

@@ -1,0 +1,204 @@
+"""Tests of the explicit tasking subsystem."""
+
+import threading
+
+import pytest
+
+from repro.cruntime import cruntime
+from repro.runtime import pure_runtime
+from repro.runtime.tasking import DONE, FREE, TaskNode, TaskQueue
+
+
+@pytest.fixture(params=["pure", "cruntime"])
+def rt(request):
+    return pure_runtime if request.param == "pure" else cruntime
+
+
+class TestTaskQueueUnit:
+    def test_append_and_claim_order(self, rt):
+        queue = TaskQueue(rt.lowlevel)
+        nodes = [TaskNode(lambda: None, None, rt.lowlevel)
+                 for _ in range(3)]
+        for node in nodes:
+            queue.append(node)
+        claimed = [queue.claim_next() for _ in range(3)]
+        assert claimed == nodes
+        assert queue.claim_next() is None
+
+    def test_claim_skips_running_and_done(self, rt):
+        queue = TaskQueue(rt.lowlevel)
+        first = TaskNode(lambda: None, None, rt.lowlevel)
+        second = TaskNode(lambda: None, None, rt.lowlevel)
+        queue.append(first)
+        queue.append(second)
+        assert first.claim()  # simulate another thread holding it
+        assert queue.claim_next() is second
+
+    def test_states(self, rt):
+        node = TaskNode(lambda: None, None, rt.lowlevel)
+        assert node.state.load() == FREE
+        assert node.claim()
+        assert not node.claim()
+        node.finish()
+        assert node.state.load() == DONE
+        assert node.done
+        assert node.event.is_set()
+
+    def test_concurrent_claims_unique(self, rt):
+        queue = TaskQueue(rt.lowlevel)
+        total = 200
+        for _ in range(total):
+            queue.append(TaskNode(lambda: None, None, rt.lowlevel))
+        claimed = []
+        lock = threading.Lock()
+
+        def worker():
+            while True:
+                node = queue.claim_next()
+                if node is None:
+                    return
+                with lock:
+                    claimed.append(node)
+
+        workers = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert len(claimed) == total
+        assert len(set(map(id, claimed))) == total
+
+
+class TestTaskExecution:
+    def test_all_tasks_complete_before_region_end(self, rt):
+        done = []
+        lock = threading.Lock()
+
+        def region():
+            state = rt.single_begin()
+            if state.selected:
+                for index in range(20):
+                    def work(i=index):
+                        with lock:
+                            done.append(i)
+                    rt.task_submit(work)
+            rt.single_end(state)
+
+        rt.parallel_run(region, num_threads=4)
+        assert sorted(done) == list(range(20))
+
+    def test_tasks_run_on_multiple_threads_or_at_least_complete(self, rt):
+        executors = set()
+        lock = threading.Lock()
+
+        def region():
+            state = rt.single_begin()
+            if state.selected:
+                for _ in range(30):
+                    def work():
+                        with lock:
+                            executors.add(rt.get_thread_num())
+                    rt.task_submit(work)
+            rt.single_end(state)
+
+        rt.parallel_run(region, num_threads=4)
+        assert executors  # at least someone ran them; all completed
+
+    def test_undeferred_task_runs_immediately(self, rt):
+        order = []
+
+        def region():
+            rt.task_submit(lambda: order.append("task"), if_=False)
+            order.append("after")
+
+        rt.parallel_run(region, num_threads=1)
+        assert order == ["task", "after"]
+
+    def test_taskwait_waits_for_direct_children(self, rt):
+        trace = []
+        lock = threading.Lock()
+
+        def region():
+            state = rt.single_begin()
+            if state.selected:
+                for index in range(8):
+                    def work(i=index):
+                        with lock:
+                            trace.append(i)
+                    rt.task_submit(work)
+                rt.task_wait()
+                with lock:
+                    trace.append("joined")
+            rt.single_end(state)
+
+        rt.parallel_run(region, num_threads=3)
+        assert trace[-1] == "joined" or "joined" in trace
+        joined_at = trace.index("joined")
+        assert sorted(trace[:joined_at]) == list(range(8))
+
+    def test_recursive_fibonacci_via_tasks(self, rt):
+        def fib(n):
+            if n <= 1:
+                return n
+            holder = {}
+
+            def left():
+                holder["a"] = fib(n - 1)
+
+            def right():
+                holder["b"] = fib(n - 2)
+
+            rt.task_submit(left, if_=n > 8)
+            rt.task_submit(right, if_=n > 8)
+            rt.task_wait()
+            return holder["a"] + holder["b"]
+
+        result = {}
+
+        def region():
+            state = rt.single_begin()
+            if state.selected:
+                result["value"] = fib(14)
+            rt.single_end(state)
+
+        rt.parallel_run(region, num_threads=4)
+        assert result["value"] == 377
+
+    def test_nested_task_children_complete_by_region_end(self, rt):
+        leaves = []
+        lock = threading.Lock()
+
+        def region():
+            state = rt.single_begin()
+            if state.selected:
+                def parent():
+                    for index in range(5):
+                        def leaf(i=index):
+                            with lock:
+                                leaves.append(i)
+                        rt.task_submit(leaf)
+                rt.task_submit(parent)
+            rt.single_end(state)
+
+        rt.parallel_run(region, num_threads=3)
+        assert sorted(leaves) == list(range(5))
+
+    def test_threads_waiting_at_barrier_consume_tasks(self, rt):
+        """The paper's barrier semantics: waiters execute queued work."""
+        counted = []
+        lock = threading.Lock()
+
+        def region():
+            state = rt.single_begin()
+            if state.selected:
+                for index in range(40):
+                    def work(i=index):
+                        with lock:
+                            counted.append(i)
+                    rt.task_submit(work)
+            # The implicit barrier of single_end (and the join barrier)
+            # must drain the queue.
+            rt.single_end(state)
+
+        rt.parallel_run(region, num_threads=4)
+        assert len(counted) == 40

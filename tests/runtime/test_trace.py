@@ -1,0 +1,153 @@
+"""Tests of the runtime event tracer and its summaries."""
+
+import pytest
+
+from repro import Mode, transform
+from repro.cruntime import cruntime
+from repro.runtime import pure_runtime
+from repro.runtime.trace import TraceEvent, Tracer, TraceSummary
+
+
+@pytest.fixture(params=["pure", "cruntime"])
+def rt(request):
+    return pure_runtime if request.param == "pure" else cruntime
+
+
+class TestTracerBasics:
+    def test_disabled_by_default_records_nothing(self):
+        tracer = Tracer()
+        tracer.record("chunk", 0, 0, 10)
+        assert tracer.events() == []
+
+    def test_start_stop_cycle(self):
+        tracer = Tracer()
+        tracer.start()
+        tracer.record("chunk", 1, 0, 5)
+        events = tracer.stop()
+        assert len(events) == 1
+        assert events[0].kind == "chunk"
+        assert events[0].thread == 1
+        assert not tracer.enabled
+
+    def test_start_clears_previous_events(self):
+        tracer = Tracer()
+        tracer.start()
+        tracer.record("chunk", 0, 0, 1)
+        tracer.start()
+        assert tracer.events() == []
+
+    def test_capacity_bound(self):
+        tracer = Tracer(capacity=3)
+        tracer.start()
+        for index in range(10):
+            tracer.record("chunk", 0, index, index + 1)
+        assert len(tracer.events()) == 3
+        assert tracer.dropped == 7
+
+    def test_timestamps_monotonic(self):
+        tracer = Tracer()
+        tracer.start()
+        for _ in range(5):
+            tracer.record("chunk", 0, 0, 1)
+        stamps = [event.timestamp for event in tracer.events()]
+        assert stamps == sorted(stamps)
+
+
+class TestRuntimeIntegration:
+    def test_region_events(self, rt):
+        rt.tracer.start()
+        rt.parallel_run(lambda: None, num_threads=3)
+        events = rt.tracer.stop()
+        kinds = [event.kind for event in events]
+        assert kinds.count("region_fork") == 1
+        assert kinds.count("region_join") == 1
+        assert events[0].detail == (3,)
+
+    def test_chunk_events_cover_iteration_space(self, rt):
+        rt.tracer.start()
+
+        def region():
+            bounds = rt.for_bounds([0, 40, 1])
+            rt.for_init(bounds, kind="dynamic", chunk=4)
+            while rt.for_next(bounds):
+                pass
+            rt.for_end(bounds)
+
+        rt.parallel_run(region, num_threads=3)
+        summary = TraceSummary(rt.tracer.stop())
+        assert summary.count("chunk") == 10
+        assert sum(summary.iterations_per_thread().values()) == 40
+
+    def test_task_lifecycle_events(self, rt):
+        rt.tracer.start()
+
+        def region():
+            state = rt.single_begin()
+            if state.selected:
+                for _ in range(6):
+                    rt.task_submit(lambda: None)
+            rt.single_end(state)
+
+        rt.parallel_run(region, num_threads=2)
+        summary = TraceSummary(rt.tracer.stop())
+        assert summary.count("task_submit") == 6
+        assert summary.count("task_start") == 6
+        assert summary.count("task_finish") == 6
+        assert all(latency >= 0 for latency in summary.task_latencies())
+
+    def test_barrier_events(self, rt):
+        rt.tracer.start()
+
+        def region():
+            rt.barrier()
+
+        rt.parallel_run(region, num_threads=2)
+        summary = TraceSummary(rt.tracer.stop())
+        assert summary.count("barrier_enter") == 2
+        assert summary.count("barrier_release") == 2
+
+    def test_static_chunks_assigned_round_robin(self, rt):
+        rt.tracer.start()
+
+        def region():
+            bounds = rt.for_bounds([0, 24, 1])
+            rt.for_init(bounds, kind="static", chunk=3)
+            while rt.for_next(bounds):
+                pass
+            rt.for_end(bounds)
+
+        rt.parallel_run(region, num_threads=2)
+        summary = TraceSummary(rt.tracer.stop())
+        assert summary.chunks_per_thread() == {0: 4, 1: 4}
+
+    def test_transformed_code_is_traceable(self):
+        fn = transform(_traced_subject, Mode.HYBRID)
+        cruntime.tracer.start()
+        fn(30)
+        summary = TraceSummary(cruntime.tracer.stop())
+        assert summary.count("region_fork") == 1
+        assert summary.count("chunk") >= 2
+
+
+class TestSummaryRendering:
+    def test_timeline_renders_rows(self):
+        events = [TraceEvent(1.0, "chunk", 0, (0, 5)),
+                  TraceEvent(1.5, "chunk", 1, (5, 10)),
+                  TraceEvent(2.0, "chunk", 0, (10, 15))]
+        timeline = TraceSummary(events).timeline(width=20)
+        assert "t0  |" in timeline
+        assert "t1  |" in timeline
+        assert "#" in timeline
+
+    def test_timeline_without_chunks(self):
+        assert "no chunk" in TraceSummary([]).timeline()
+
+
+def _traced_subject(n):
+    from repro import omp
+    total = 0
+    with omp("parallel for reduction(+:total) num_threads(2) "
+             "schedule(dynamic, 5)"):
+        for i in range(n):
+            total += i
+    return total

@@ -1,0 +1,286 @@
+"""Direct tests of loop scheduling, sections, and single machinery."""
+
+import threading
+
+import pytest
+
+from repro.cruntime import cruntime
+from repro.errors import OmpRuntimeError
+from repro.runtime import pure_runtime
+from repro.runtime.worksharing import trip_count
+
+
+@pytest.fixture(params=["pure", "cruntime"])
+def rt(request):
+    return pure_runtime if request.param == "pure" else cruntime
+
+
+class TestTripCount:
+    @pytest.mark.parametrize("start,stop,step,expected", [
+        (0, 10, 1, 10),
+        (0, 10, 3, 4),
+        (0, 0, 1, 0),
+        (5, 3, 1, 0),
+        (10, 0, -1, 10),
+        (10, 0, -3, 4),
+        (0, 10, -1, 0),
+        (-5, 5, 2, 5),
+        (7, 8, 1, 1),
+    ])
+    def test_matches_len_range(self, start, stop, step, expected):
+        assert trip_count(start, stop, step) == expected
+        assert trip_count(start, stop, step) == len(range(start, stop,
+                                                          step))
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(OmpRuntimeError):
+            trip_count(0, 10, 0)
+
+
+def run_loop(rt, threads, total, kind="static", chunk=None, start=0,
+             step=1):
+    """Drive a worksharing loop by hand; return per-thread iteration
+    lists."""
+    stop = start + total * step
+    results: dict[int, list[int]] = {}
+
+    def region():
+        mine = []
+        bounds = rt.for_bounds([start, stop, step])
+        rt.for_init(bounds, kind=kind, chunk=chunk)
+        while rt.for_next(bounds):
+            mine.extend(range(bounds[0], bounds[1], step))
+        rt.for_end(bounds)
+        results[rt.get_thread_num()] = mine
+
+    rt.parallel_run(region, num_threads=threads)
+    return results
+
+
+class TestSchedulers:
+    @pytest.mark.parametrize("kind,chunk", [
+        ("static", None), ("static", 7), ("dynamic", None),
+        ("dynamic", 5), ("guided", None), ("guided", 3), ("auto", None),
+    ])
+    def test_partition_covers_exactly_once(self, rt, kind, chunk):
+        results = run_loop(rt, threads=4, total=103, kind=kind,
+                           chunk=chunk)
+        everything = sorted(i for mine in results.values() for i in mine)
+        assert everything == list(range(103))
+
+    def test_static_unchunked_is_balanced_blocks(self, rt):
+        results = run_loop(rt, threads=4, total=10)
+        sizes = sorted(len(v) for v in results.values())
+        assert sizes == [2, 2, 3, 3]
+        # Blocks are contiguous and ordered by thread id.
+        for tid, mine in results.items():
+            assert mine == sorted(mine)
+
+    def test_static_chunked_round_robin(self, rt):
+        results = run_loop(rt, threads=2, total=8, kind="static", chunk=2)
+        assert results[0] == [0, 1, 4, 5]
+        assert results[1] == [2, 3, 6, 7]
+
+    def test_negative_step(self, rt):
+        results = run_loop(rt, threads=3, total=20, start=100, step=-2)
+        everything = sorted(i for mine in results.values() for i in mine)
+        assert everything == sorted(range(100, 60, -2))
+
+    def test_empty_loop(self, rt):
+        results = run_loop(rt, threads=2, total=0)
+        assert all(mine == [] for mine in results.values())
+
+    def test_runtime_schedule_uses_icv(self, rt):
+        rt.set_schedule("static", 4)
+        try:
+            results = run_loop(rt, threads=2, total=8, kind="runtime")
+            assert results[0] == [0, 1, 2, 3]
+            assert results[1] == [4, 5, 6, 7]
+        finally:
+            rt.set_schedule("static")
+
+    def test_guided_chunks_decrease(self, rt):
+        sizes = []
+
+        def region():
+            bounds = rt.for_bounds([0, 1000, 1])
+            rt.for_init(bounds, kind="guided", chunk=1)
+            while rt.for_next(bounds):
+                sizes.append(bounds[1] - bounds[0])
+            rt.for_end(bounds)
+
+        rt.parallel_run(region, num_threads=1)
+        assert sum(sizes) == 1000
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[0] > sizes[-1]
+
+    def test_invalid_chunk_rejected(self, rt):
+        def region():
+            bounds = rt.for_bounds([0, 10, 1])
+            rt.for_init(bounds, kind="dynamic", chunk=0)
+
+        with pytest.raises(OmpRuntimeError):
+            rt.parallel_run(region, num_threads=1)
+
+
+class TestForLast:
+    def test_last_flag_identifies_final_iteration_owner(self, rt):
+        owners = []
+        lock = threading.Lock()
+
+        def region():
+            bounds = rt.for_bounds([0, 50, 1])
+            rt.for_init(bounds, kind="dynamic", chunk=3)
+            last_seen = None
+            while rt.for_next(bounds):
+                if 49 in range(bounds[0], bounds[1]):
+                    last_seen = True
+            if rt.for_last(bounds):
+                with lock:
+                    owners.append((rt.get_thread_num(), last_seen))
+            rt.for_end(bounds)
+
+        rt.parallel_run(region, num_threads=4)
+        assert len(owners) == 1
+        assert owners[0][1] is True
+
+
+class TestOrdered:
+    def test_ordered_iterations_run_in_order(self, rt):
+        order = []
+
+        def region():
+            bounds = rt.for_bounds([0, 40, 1])
+            rt.for_init(bounds, kind="dynamic", chunk=1, ordered=True)
+            while rt.for_next(bounds):
+                for i in range(bounds[0], bounds[1]):
+                    rt.ordered_start(bounds, i)
+                    order.append(i)
+                    rt.ordered_end(bounds, i)
+            rt.for_end(bounds)
+
+        rt.parallel_run(region, num_threads=4)
+        assert order == list(range(40))
+
+
+class TestSections:
+    def test_each_section_runs_exactly_once(self, rt):
+        executed = []
+        lock = threading.Lock()
+
+        def region():
+            state = rt.sections_begin(5)
+            while True:
+                section = rt.sections_next(state)
+                if section < 0:
+                    break
+                with lock:
+                    executed.append(section)
+            rt.sections_end(state)
+
+        rt.parallel_run(region, num_threads=3)
+        assert sorted(executed) == [0, 1, 2, 3, 4]
+
+    def test_sections_last(self, rt):
+        last_owner = []
+
+        def region():
+            state = rt.sections_begin(3)
+            while rt.sections_next(state) >= 0:
+                pass
+            if rt.sections_last(state):
+                last_owner.append(rt.get_thread_num())
+            rt.sections_end(state)
+
+        rt.parallel_run(region, num_threads=2)
+        assert len(last_owner) == 1
+
+
+class TestSingle:
+    def test_single_executes_once(self, rt):
+        count = []
+        lock = threading.Lock()
+
+        def region():
+            state = rt.single_begin()
+            if state.selected:
+                with lock:
+                    count.append(rt.get_thread_num())
+            rt.single_end(state)
+
+        rt.parallel_run(region, num_threads=4)
+        assert len(count) == 1
+
+    def test_consecutive_singles_use_distinct_slots(self, rt):
+        counts = [[], []]
+        lock = threading.Lock()
+
+        def region():
+            for index in range(2):
+                state = rt.single_begin()
+                if state.selected:
+                    with lock:
+                        counts[index].append(1)
+                rt.single_end(state)
+
+        rt.parallel_run(region, num_threads=3)
+        assert [len(c) for c in counts] == [1, 1]
+
+    def test_copyprivate_broadcast(self, rt):
+        received = {}
+        lock = threading.Lock()
+
+        def region():
+            state = rt.single_begin()
+            if state.selected:
+                rt.copyprivate_set(state, ("hello", rt.get_thread_num()))
+            rt.single_end(state)
+            value = rt.copyprivate_get(state)
+            with lock:
+                received[rt.get_thread_num()] = value
+
+        rt.parallel_run(region, num_threads=3)
+        values = set(received.values())
+        assert len(values) == 1
+        assert next(iter(values))[0] == "hello"
+
+
+class TestMaster:
+    def test_master_is_thread_zero(self, rt):
+        hits = []
+        lock = threading.Lock()
+
+        def region():
+            if rt.master_begin():
+                with lock:
+                    hits.append(rt.get_thread_num())
+
+        rt.parallel_run(region, num_threads=4)
+        assert hits == [0]
+
+
+class TestBarrierSemantics:
+    def test_barrier_synchronizes_phases(self, rt):
+        phase_one = []
+        phase_two_snapshot = []
+        lock = threading.Lock()
+
+        def region():
+            with lock:
+                phase_one.append(rt.get_thread_num())
+            rt.barrier()
+            with lock:
+                phase_two_snapshot.append(len(phase_one))
+
+        rt.parallel_run(region, num_threads=4)
+        assert all(snapshot == 4 for snapshot in phase_two_snapshot)
+
+    def test_barrier_inside_task_rejected(self, rt):
+        def region():
+            state = rt.single_begin()
+            if state.selected:
+                rt.task_submit(rt.barrier, if_=True)
+            rt.single_end(state)
+
+        with pytest.raises(OmpRuntimeError):
+            rt.parallel_run(region, num_threads=2)

@@ -1,0 +1,151 @@
+"""Tests of the miniature MPI substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OmpRuntimeError
+from repro.mpi import comm_world, mpirun
+from repro.mpi.comm import MAX, MIN, PROD, SUM
+
+
+class TestLauncher:
+    def test_returns_per_rank_results(self):
+        results = mpirun(4, lambda comm: comm.rank * 10)
+        assert results == [0, 10, 20, 30]
+
+    def test_rank_and_size(self):
+        results = mpirun(3, lambda comm: (comm.Get_rank(),
+                                          comm.Get_size()))
+        assert results == [(0, 3), (1, 3), (2, 3)]
+
+    def test_extra_args_forwarded(self):
+        results = mpirun(2, lambda comm, a, b=0: a + b + comm.rank, 5,
+                         b=1)
+        assert results == [6, 7]
+
+    def test_comm_world_inside_launch(self):
+        results = mpirun(2, lambda comm: comm_world().rank)
+        assert results == [0, 1]
+
+    def test_comm_world_outside_raises(self):
+        with pytest.raises(OmpRuntimeError):
+            comm_world()
+
+    def test_rank_error_propagates(self):
+        def main(comm):
+            if comm.rank == 1:
+                raise ValueError("bad rank")
+            comm.barrier()
+
+        with pytest.raises(OmpRuntimeError):
+            mpirun(3, main)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(OmpRuntimeError):
+            mpirun(0, lambda comm: None)
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send({"payload": 42}, dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results = mpirun(2, main)
+        assert results[1] == {"payload": 42}
+
+    def test_ring(self):
+        def main(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(comm.rank, dest=right)
+            return comm.recv(source=left)
+
+        results = mpirun(4, main)
+        assert results == [3, 0, 1, 2]
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def main(comm):
+            value = "hello" if comm.rank == 0 else None
+            return comm.bcast(value, root=0)
+
+        assert mpirun(4, main) == ["hello"] * 4
+
+    def test_scatter_gather(self):
+        def main(comm):
+            values = list(range(100, 104)) if comm.rank == 0 else None
+            mine = comm.scatter(values, root=0)
+            return comm.gather(mine * 2, root=0)
+
+        results = mpirun(4, main)
+        assert results[0] == [200, 202, 204, 206]
+        assert results[1] is None
+
+    def test_allgather(self):
+        results = mpirun(3, lambda comm: comm.allgather(comm.rank ** 2))
+        assert results == [[0, 1, 4]] * 3
+
+    def test_allreduce_sum_default(self):
+        results = mpirun(4, lambda comm: comm.allreduce(comm.rank + 1))
+        assert results == [10] * 4
+
+    @pytest.mark.parametrize("op,expected", [
+        (SUM, 6), (PROD, 6), (MAX, 3), (MIN, 1),
+    ])
+    def test_allreduce_ops(self, op, expected):
+        results = mpirun(
+            3, lambda comm: comm.allreduce(comm.rank + 1, op))
+        assert results == [expected] * 3
+
+    def test_consecutive_collectives_do_not_interfere(self):
+        def main(comm):
+            first = comm.allgather(comm.rank)
+            second = comm.allgather(comm.rank * 100)
+            return first, second
+
+        for first, second in mpirun(3, main):
+            assert first == [0, 1, 2]
+            assert second == [0, 100, 200]
+
+
+class TestBufferCollectives:
+    def test_Allgather(self):
+        def main(comm):
+            block = np.full(3, float(comm.rank))
+            out = np.empty(9)
+            comm.Allgather(block, out)
+            return out
+
+        for out in mpirun(3, main):
+            assert list(out) == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_Allgatherv_uneven_blocks(self):
+        def main(comm):
+            block = np.full(comm.rank + 1, float(comm.rank))
+            out = np.empty(6)
+            comm.Allgatherv(block, out)
+            return out
+
+        for out in mpirun(3, main):
+            assert list(out) == [0, 1, 1, 2, 2, 2]
+
+    def test_Allreduce(self):
+        def main(comm):
+            send = np.array([comm.rank, 2.0 * comm.rank])
+            out = np.empty(2)
+            comm.Allreduce(send, out)
+            return out
+
+        for out in mpirun(4, main):
+            assert list(out) == [6.0, 12.0]
+
+    def test_Allgather_size_mismatch(self):
+        def main(comm):
+            comm.Allgather(np.zeros(2), np.zeros(3))
+
+        with pytest.raises(OmpRuntimeError):
+            mpirun(1, main)

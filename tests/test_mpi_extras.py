@@ -1,0 +1,98 @@
+"""Additional mini-MPI coverage: tags, reduce, buffer ops with custom
+operations, and hybrid interactions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OmpRuntimeError
+from repro.mpi import mpirun
+from repro.mpi.comm import MAX, MIN, PROD
+
+
+class TestPointToPointExtras:
+    def test_tag_mismatch_raises(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=7)
+            else:
+                comm.recv(source=0, tag=9)
+
+        with pytest.raises(OmpRuntimeError):
+            mpirun(2, main)
+
+    def test_matching_tags(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("payload", dest=1, tag=3)
+                return None
+            return comm.recv(source=0, tag=3)
+
+        assert mpirun(2, main)[1] == "payload"
+
+    def test_multiple_messages_fifo(self):
+        def main(comm):
+            if comm.rank == 0:
+                for index in range(5):
+                    comm.send(index, dest=1)
+                return None
+            return [comm.recv(source=0) for _ in range(5)]
+
+        assert mpirun(2, main)[1] == [0, 1, 2, 3, 4]
+
+
+class TestReduce:
+    def test_reduce_only_root_gets_result(self):
+        def main(comm):
+            return comm.reduce(comm.rank + 1, root=1)
+
+        results = mpirun(3, main)
+        assert results[1] == 6
+        assert results[0] is None
+        assert results[2] is None
+
+    def test_allreduce_with_prod(self):
+        results = mpirun(
+            4, lambda comm: comm.allreduce(comm.rank + 1, PROD))
+        assert results == [24] * 4
+
+    def test_buffer_allreduce_with_custom_op(self):
+        def main(comm):
+            out = np.empty(3)
+            comm.Allreduce(np.full(3, float(comm.rank)), out,
+                           op=np.maximum)
+            return out
+
+        for result in mpirun(3, main):
+            assert list(result) == [2.0, 2.0, 2.0]
+
+    def test_min_max_ops(self):
+        lo = mpirun(3, lambda comm: comm.allreduce(comm.rank, MIN))
+        hi = mpirun(3, lambda comm: comm.allreduce(comm.rank, MAX))
+        assert lo == [0, 0, 0]
+        assert hi == [2, 2, 2]
+
+
+class TestHybridInteraction:
+    def test_each_rank_forks_its_own_openmp_team(self):
+        """Ranks are independent OpenMP initial threads (paper III-C)."""
+        from repro.cruntime import cruntime
+
+        def main(comm):
+            seen = []
+            cruntime.parallel_run(
+                lambda: seen.append(
+                    (comm.rank, cruntime.get_thread_num())),
+                num_threads=2)
+            return sorted(seen)
+
+        results = mpirun(3, main)
+        for rank, result in enumerate(results):
+            assert result == [(rank, 0), (rank, 1)]
+
+    def test_scatter_wrong_count_raises(self):
+        def main(comm):
+            blocks = [1, 2, 3] if comm.rank == 0 else None
+            comm.scatter(blocks, root=0)
+
+        with pytest.raises(OmpRuntimeError):
+            mpirun(2, main)

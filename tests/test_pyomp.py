@@ -1,0 +1,126 @@
+"""Tests of the PyOMP baseline: envelope rejection and execution."""
+
+import pytest
+
+from repro.pyomp import PyOMPCompileError, njit, openmp
+
+
+def pyomp_pi(n, threads):
+    total: float = 0.0
+    w: float = 1.0 / n
+    with openmp("parallel for reduction(+:total) num_threads(threads)"):
+        for i in range(n):
+            x = (i + 0.5) * w
+            total += 4.0 / (1.0 + x * x)
+    return total * w
+
+
+def uses_dict(n):
+    counts = {}
+    with openmp("parallel"):
+        counts["x"] = n
+    return counts
+
+
+def uses_dict_constructor(n):
+    counts = dict()
+    return counts
+
+
+def uses_set_literal(n):
+    return {1, 2, n}
+
+
+def uses_networkx_like_object(graph):
+    with openmp("parallel"):
+        return graph.number_of_nodes()
+
+
+def uses_str_methods(text):
+    with openmp("parallel"):
+        return text.split()
+
+
+def uses_dynamic_schedule(n):
+    total: float = 0.0
+    with openmp("parallel for reduction(+:total) schedule(dynamic, 4)"):
+        for i in range(n):
+            total += i
+    return total
+
+
+def uses_nowait(n):
+    with openmp("parallel"):
+        with openmp("for nowait"):
+            for i in range(n):
+                pass
+
+
+def uses_task_if(n):
+    with openmp("parallel"):
+        with openmp("single"):
+            with openmp("task if(n > 10)"):
+                pass
+
+
+def uses_math_and_numpy(n):
+    import math
+    total: float = 0.0
+    with openmp("parallel for reduction(+:total) num_threads(2)"):
+        for i in range(n):
+            total += math.sqrt(i)
+    return total
+
+
+class TestSupportedPrograms:
+    def test_pi_compiles_and_runs(self):
+        import math
+        compiled = njit(pyomp_pi)
+        assert compiled(200000, 2) == pytest.approx(math.pi, abs=1e-8)
+
+    def test_math_calls_allowed(self):
+        compiled = njit(uses_math_and_numpy)
+        expected = sum(i ** 0.5 for i in range(100))
+        assert compiled(100) == pytest.approx(expected)
+
+    def test_njit_with_options(self):
+        compiled = njit(nogil=True)(pyomp_pi)
+        assert callable(compiled)
+
+
+class TestEnvelopeRejections:
+    def test_dict_literal(self):
+        with pytest.raises(PyOMPCompileError, match="dict"):
+            njit(uses_dict)
+
+    def test_dict_constructor(self):
+        with pytest.raises(PyOMPCompileError, match="dict"):
+            njit(uses_dict_constructor)
+
+    def test_set_literal(self):
+        with pytest.raises(PyOMPCompileError, match="set"):
+            njit(uses_set_literal)
+
+    def test_external_library_object(self):
+        with pytest.raises(PyOMPCompileError, match="Numba type"):
+            njit(uses_networkx_like_object)
+
+    def test_str_methods(self):
+        with pytest.raises(PyOMPCompileError, match="unicode"):
+            njit(uses_str_methods)
+
+    def test_dynamic_schedule(self):
+        with pytest.raises(PyOMPCompileError, match="static only"):
+            njit(uses_dynamic_schedule)
+
+    def test_nowait(self):
+        with pytest.raises(PyOMPCompileError, match="nowait"):
+            njit(uses_nowait)
+
+    def test_task_if_clause(self):
+        with pytest.raises(PyOMPCompileError, match="if clause"):
+            njit(uses_task_if)
+
+    def test_error_message_mentions_nopython_pipeline(self):
+        with pytest.raises(PyOMPCompileError, match="nopython"):
+            njit(uses_dict)

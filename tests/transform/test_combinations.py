@@ -1,0 +1,187 @@
+"""Cross-construct combinations the individual suites don't cover."""
+
+import pytest
+
+from repro import transform
+
+
+def collapse_with_ordered(rows, cols):
+    from repro import omp
+    log = []
+    with omp("parallel for collapse(2) ordered schedule(dynamic, 1) "
+             "num_threads(3)"):
+        for i in range(rows):
+            for j in range(cols):
+                value = i * 100 + j
+                with omp("ordered"):
+                    log.append(value)
+    return log
+
+
+def sections_with_reduction(n):
+    from repro import omp
+    total = 0
+    with omp("parallel num_threads(3)"):
+        with omp("sections reduction(+:total)"):
+            with omp("section"):
+                for i in range(n):
+                    total += 1
+            with omp("section"):
+                for i in range(n):
+                    total += 2
+            with omp("section"):
+                for i in range(n):
+                    total += 3
+    return total
+
+
+def single_with_private(n):
+    from repro import omp
+    scratch = 555
+    outcome = []
+    with omp("parallel num_threads(3)"):
+        with omp("single private(scratch)"):
+            scratch = n * 2
+            outcome.append(scratch)
+    return scratch, outcome
+
+
+def single_with_firstprivate(n):
+    from repro import omp
+    seed = 7
+    outcome = []
+    with omp("parallel num_threads(2)"):
+        with omp("single firstprivate(seed)"):
+            seed += n
+            outcome.append(seed)
+    return seed, outcome
+
+
+def nested_for_in_sections(n):
+    from repro import omp
+    left = [0] * n
+    right = [0] * n
+    with omp("parallel sections num_threads(2)"):
+        with omp("section"):
+            for i in range(n):
+                left[i] = i
+        with omp("section"):
+            for i in range(n):
+                right[i] = -i
+    return left, right
+
+
+def reduction_min_max(values):
+    from repro import omp
+    low = 1e30
+    high = -1e30
+    count = len(values)
+    with omp("parallel for reduction(min: low) reduction(max: high) "
+             "num_threads(3)"):
+        for i in range(count):
+            low = min(low, values[i])
+            high = max(high, values[i])
+    return low, high
+
+
+def logical_reductions(flags):
+    from repro import omp
+    every = True
+    some = False
+    count = len(flags)
+    with omp("parallel for reduction(&&: every) reduction(||: some) "
+             "num_threads(2)"):
+        for i in range(count):
+            every = every and flags[i]
+            some = some or flags[i]
+    return every, some
+
+
+def for_inside_task(n):
+    from repro import omp
+    out = [0] * n
+    with omp("parallel num_threads(2)"):
+        with omp("single"):
+            with omp("task"):
+                # A loop inside a task runs on the executing thread's
+                # 1-member binding; iterations must all execute.
+                for i in range(n):
+                    out[i] = i + 5
+            omp("taskwait")
+    return out
+
+
+TP_SHARED_STATE = 1000
+
+
+def tp_writer(n):
+    from repro import omp
+    omp("threadprivate(TP_SHARED_STATE)")
+    TP_SHARED_STATE = n
+    return TP_SHARED_STATE
+
+
+def tp_reader():
+    from repro import omp
+    omp("threadprivate(TP_SHARED_STATE)")
+    return TP_SHARED_STATE
+
+
+class TestCollapseOrdered:
+    def test_ordered_over_linearized_space(self, runtime_mode):
+        fn = transform(collapse_with_ordered, runtime_mode)
+        assert fn(4, 5) == [i * 100 + j for i in range(4)
+                            for j in range(5)]
+
+
+class TestSectionsReduction:
+    def test_reduction_across_sections(self, runtime_mode):
+        fn = transform(sections_with_reduction, runtime_mode)
+        assert fn(10) == 10 * (1 + 2 + 3)
+
+
+class TestSinglePrivatization:
+    def test_private_in_single(self, runtime_mode):
+        fn = transform(single_with_private, runtime_mode)
+        outer, outcome = fn(21)
+        assert outer == 555
+        assert outcome == [42]
+
+    def test_firstprivate_in_single(self, runtime_mode):
+        fn = transform(single_with_firstprivate, runtime_mode)
+        outer, outcome = fn(3)
+        assert outer == 7
+        assert outcome == [10]
+
+
+class TestMoreCombinations:
+    def test_loops_in_sections(self, runtime_mode):
+        fn = transform(nested_for_in_sections, runtime_mode)
+        left, right = fn(12)
+        assert left == list(range(12))
+        assert right == [-i for i in range(12)]
+
+    def test_min_max_reductions(self, runtime_mode):
+        fn = transform(reduction_min_max, runtime_mode)
+        values = [5.0, -2.0, 9.5, 0.25, 7.0]
+        assert fn(values) == (-2.0, 9.5)
+
+    def test_logical_reductions(self, runtime_mode):
+        fn = transform(logical_reductions, runtime_mode)
+        assert fn([True, True, False]) == (False, True)
+        assert fn([True, True]) == (True, True)
+        assert fn([False, False]) == (False, False)
+
+    def test_sequential_loop_inside_task(self, runtime_mode):
+        fn = transform(for_inside_task, runtime_mode)
+        assert fn(9) == [i + 5 for i in range(9)]
+
+
+class TestThreadprivateAcrossFunctions:
+    def test_same_key_shared_between_decorated_functions(self,
+                                                         runtime_mode):
+        writer = transform(tp_writer, runtime_mode)
+        reader = transform(tp_reader, runtime_mode)
+        assert writer(77) == 77
+        # Same module-level variable -> same per-thread storage key.
+        assert reader() == 77

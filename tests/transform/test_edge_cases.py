@@ -1,0 +1,213 @@
+"""Transform-layer edge cases: error paths, nested definitions,
+runtime binding of the API rewrite, and class decoration."""
+
+import pytest
+
+from repro import Mode, transform
+from repro.errors import OmpSyntaxError
+
+
+# --- subjects ----------------------------------------------------------
+
+def with_as_binding(n):
+    from repro import omp
+    with omp("parallel") as handle:
+        pass
+
+
+def with_two_managers(n):
+    from repro import omp
+    import io
+    with omp("parallel"), io.StringIO() as fh:
+        pass
+
+
+def omp_non_literal(n):
+    from repro import omp
+    directive = "parallel"
+    with omp(directive):
+        pass
+
+
+def omp_extra_args(n):
+    from repro import omp
+    with omp("parallel", 4):
+        pass
+
+
+def copyin_without_threadprivate(n):
+    from repro import omp
+    x = 1
+    with omp("parallel copyin(x)"):
+        pass
+
+
+def firstprivate_unknown_var(n):
+    from repro import omp
+    with omp("parallel firstprivate(mystery)"):
+        pass
+
+
+def declare_reduction_no_initializer(items):
+    from repro import omp
+    omp("declare reduction(weird: omp_out + omp_in)")
+
+
+def threadprivate_local_var(n):
+    from repro import omp
+    local_only = 1
+    omp("threadprivate(local_only)")
+
+
+def directive_inside_nested_def(n):
+    from repro import omp
+
+    def inner(m):
+        total = 0
+        with omp("parallel for reduction(+:total) num_threads(2)"):
+            for i in range(m):
+                total += i
+        return total
+
+    return inner(n)
+
+
+def api_rewrite_subject(n):
+    from repro import omp, omp_get_num_threads, omp_in_parallel
+    values = []
+    with omp("parallel num_threads(2)"):
+        with omp("critical"):
+            values.append((omp_get_num_threads(), omp_in_parallel()))
+    return values
+
+
+def empty_parallel_block(n):
+    from repro import omp
+    with omp("parallel num_threads(2)"):
+        pass
+    return "done"
+
+
+def deeply_nested_directives(n):
+    from repro import omp
+    log = []
+    with omp("parallel num_threads(2)"):
+        with omp("single"):
+            for _repeat in range(2):
+                with omp("task"):
+                    with omp("critical"):
+                        log.append("leaf")
+            omp("taskwait")
+    return log
+
+
+def directive_under_control_flow(n, enabled):
+    from repro import omp
+    total = 0
+    if enabled:
+        with omp("parallel for reduction(+:total) num_threads(2)"):
+            for i in range(n):
+                total += 1
+    else:
+        try:
+            with omp("parallel for reduction(+:total) num_threads(2)"):
+                for i in range(n):
+                    total += 2
+        finally:
+            total += 100
+    return total
+
+
+class TestErrorPaths:
+    def test_as_binding_rejected(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="as"):
+            transform(with_as_binding, runtime_mode)
+
+    def test_two_context_managers_rejected(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="share"):
+            transform(with_two_managers, runtime_mode)
+
+    def test_non_literal_directive_rejected(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="string literal"):
+            transform(omp_non_literal, runtime_mode)
+
+    def test_extra_arguments_rejected(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="exactly one"):
+            transform(omp_extra_args, runtime_mode)
+
+    def test_copyin_requires_threadprivate(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="threadprivate"):
+            transform(copyin_without_threadprivate, runtime_mode)
+
+    def test_firstprivate_requires_outer_binding(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="not defined"):
+            transform(firstprivate_unknown_var, runtime_mode)
+
+    def test_declare_reduction_requires_initializer(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="initializer"):
+            transform(declare_reduction_no_initializer, runtime_mode)
+
+    def test_threadprivate_must_be_module_level(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="module-level"):
+            transform(threadprivate_local_var, runtime_mode)
+
+
+class TestStructuralCases:
+    def test_directive_in_nested_function(self, runtime_mode):
+        fn = transform(directive_inside_nested_def, runtime_mode)
+        assert fn(10) == sum(range(10))
+
+    def test_api_calls_rebound_to_bound_runtime(self, runtime_mode):
+        fn = transform(api_rewrite_subject, runtime_mode)
+        values = fn(0)
+        assert values == [(2, True), (2, True)]
+
+    def test_api_rebinding_targets_correct_runtime(self):
+        """Pure-mode code must see the pure runtime's team, even if the
+        module-level API points at the cruntime."""
+        from repro.runtime import pure_runtime
+        fn = transform(api_rewrite_subject, Mode.PURE)
+        pure_runtime.stats.reset()
+        assert fn(0) == [(2, True), (2, True)]
+        assert len(pure_runtime.stats.snapshot()) == 1
+
+    def test_empty_parallel_block(self, runtime_mode):
+        fn = transform(empty_parallel_block, runtime_mode)
+        assert fn(0) == "done"
+
+    def test_deeply_nested_directives(self, runtime_mode):
+        fn = transform(deeply_nested_directives, runtime_mode)
+        assert fn(0) == ["leaf", "leaf"]
+
+    def test_directives_under_control_flow(self, runtime_mode):
+        fn = transform(directive_under_control_flow, runtime_mode)
+        assert fn(5, True) == 5
+        assert fn(5, False) == 110
+
+
+@pytest.mark.usefixtures("runtime_mode")
+class TestClassDecoration:
+    def test_methods_are_transformed(self, omp_compile, runtime_mode):
+        source = '''
+class Accumulator:
+    """Counts with directives inside methods."""
+
+    def __init__(self, bias):
+        self.bias = bias
+
+    def total(self, n, threads):
+        acc = 0
+        with omp("parallel for reduction(+:acc) num_threads(threads)"):
+            for i in range(n):
+                acc += i + self.bias
+        return acc
+
+    @staticmethod
+    def double(x):
+        return x * 2
+'''
+        cls = omp_compile(source, "Accumulator", runtime_mode)
+        instance = cls(2)
+        assert instance.total(10, 3) == sum(i + 2 for i in range(10))
+        assert cls.double(5) == 10
+        assert cls.__doc__ == "Counts with directives inside methods."

@@ -1,0 +1,304 @@
+"""End-to-end tests of the ``for`` worksharing directive."""
+
+import pytest
+
+from repro import Mode, transform
+from repro.errors import OmpSyntaxError
+
+
+def simple_parallel_for(n):
+    from repro import omp
+    out = [0] * n
+    with omp("parallel for num_threads(4)"):
+        for i in range(n):
+            out[i] = i * i
+    return out
+
+
+def for_inside_parallel(n):
+    from repro import omp
+    out = [0] * n
+    with omp("parallel num_threads(3)"):
+        with omp("for schedule(dynamic, 5)"):
+            for i in range(n):
+                out[i] = i + 1
+    return out
+
+
+def reduction_loop(n):
+    from repro import omp
+    total = 0
+    with omp("parallel num_threads(4)"):
+        with omp("for reduction(+:total)"):
+            for i in range(n):
+                total += i
+    return total
+
+
+def loop_with_step(n):
+    from repro import omp
+    hits = []
+    with omp("parallel for num_threads(2) schedule(static, 3)"):
+        for i in range(0, n, 4):
+            with omp("critical"):
+                hits.append(i)
+    return sorted(hits)
+
+
+def negative_step_loop(n):
+    from repro import omp
+    hits = []
+    with omp("parallel for num_threads(3)"):
+        for i in range(n, 0, -2):
+            with omp("critical"):
+                hits.append(i)
+    return sorted(hits)
+
+
+def collapse_two(rows, cols):
+    from repro import omp
+    cells = []
+    with omp("parallel for collapse(2) num_threads(4)"):
+        for i in range(rows):
+            for j in range(cols):
+                with omp("critical"):
+                    cells.append((i, j))
+    return sorted(cells)
+
+
+def collapse_three(a, b, c):
+    from repro import omp
+    cells = []
+    with omp("parallel for collapse(3) num_threads(2) schedule(dynamic)"):
+        for i in range(a):
+            for j in range(b):
+                for k in range(c):
+                    with omp("critical"):
+                        cells.append((i, j, k))
+    return sorted(cells)
+
+
+def collapse_with_steps(n):
+    from repro import omp
+    cells = []
+    with omp("parallel for collapse(2) num_threads(3)"):
+        for i in range(0, n, 2):
+            for j in range(5, -1, -3):
+                with omp("critical"):
+                    cells.append((i, j))
+    return sorted(cells)
+
+
+def lastprivate_loop(n):
+    from repro import omp
+    value = -1
+    with omp("parallel for lastprivate(value) num_threads(4) "
+             "schedule(dynamic, 3)"):
+        for i in range(n):
+            value = i * 10
+    return value
+
+
+def firstprivate_lastprivate_loop(n):
+    from repro import omp
+    value = 5
+    seen = []
+    with omp("parallel num_threads(2)"):
+        with omp("for firstprivate(value) lastprivate(value)"):
+            for i in range(n):
+                seen.append(value + i)
+                value = i
+    return value
+
+
+def ordered_loop(n):
+    from repro import omp
+    order = []
+    with omp("parallel for ordered num_threads(4) schedule(dynamic, 1)"):
+        for i in range(n):
+            squared = i * i
+            with omp("ordered"):
+                order.append((i, squared))
+    return order
+
+
+def loop_private_clause(n):
+    from repro import omp
+    t = 1000
+    out = []
+    with omp("parallel num_threads(2)"):
+        with omp("for private(t)"):
+            for i in range(n):
+                t = i * 2
+                with omp("critical"):
+                    out.append(t)
+    return t, sorted(out)
+
+
+def nowait_loop(n):
+    from repro import omp, omp_get_thread_num
+    first_done = []
+    with omp("parallel num_threads(2)"):
+        with omp("for nowait schedule(static)"):
+            for i in range(n):
+                pass
+        with omp("critical"):
+            first_done.append(omp_get_thread_num())
+    return sorted(first_done)
+
+
+def loop_over_list_rejected(items):
+    from repro import omp
+    with omp("parallel for"):
+        for item in items:
+            pass
+
+
+def loop_break_rejected(n):
+    from repro import omp
+    with omp("parallel for"):
+        for i in range(n):
+            break
+
+
+def loop_inner_break_allowed(n):
+    from repro import omp
+    total = 0
+    with omp("parallel for reduction(+:total) num_threads(2)"):
+        for i in range(n):
+            for j in range(10):
+                if j > i:
+                    break
+                total += 1
+    return total
+
+
+def collapse_not_rectangular(n):
+    from repro import omp
+    with omp("parallel for collapse(2)"):
+        for i in range(n):
+            for j in range(i):
+                pass
+
+
+def collapse_not_nested(n):
+    from repro import omp
+    with omp("parallel for collapse(2)"):
+        for i in range(n):
+            x = 1
+            for j in range(n):
+                pass
+
+
+def loop_var_reused_outside(n):
+    from repro import omp
+    i = 777
+    total = 0
+    with omp("parallel num_threads(2)"):
+        with omp("for reduction(+:total)"):
+            for i in range(n):
+                total += 1
+    return i, total
+
+
+class TestBasicLoops:
+    def test_combined_parallel_for(self, runtime_mode):
+        fn = transform(simple_parallel_for, runtime_mode)
+        assert fn(50) == [i * i for i in range(50)]
+
+    def test_for_inside_parallel(self, runtime_mode):
+        fn = transform(for_inside_parallel, runtime_mode)
+        assert fn(37) == [i + 1 for i in range(37)]
+
+    def test_reduction(self, runtime_mode):
+        fn = transform(reduction_loop, runtime_mode)
+        assert fn(101) == sum(range(101))
+
+    def test_step(self, runtime_mode):
+        fn = transform(loop_with_step, runtime_mode)
+        assert fn(30) == list(range(0, 30, 4))
+
+    def test_negative_step(self, runtime_mode):
+        fn = transform(negative_step_loop, runtime_mode)
+        assert fn(21) == sorted(range(21, 0, -2))
+
+    def test_empty_iteration_space(self, runtime_mode):
+        fn = transform(simple_parallel_for, runtime_mode)
+        assert fn(0) == []
+
+    def test_loop_var_not_clobbered(self, runtime_mode):
+        fn = transform(loop_var_reused_outside, runtime_mode)
+        assert fn(10) == (777, 10)
+
+
+class TestCollapse:
+    def test_collapse_two(self, runtime_mode):
+        fn = transform(collapse_two, runtime_mode)
+        assert fn(5, 7) == [(i, j) for i in range(5) for j in range(7)]
+
+    def test_collapse_three(self, runtime_mode):
+        fn = transform(collapse_three, runtime_mode)
+        expected = [(i, j, k) for i in range(3) for j in range(4)
+                    for k in range(2)]
+        assert fn(3, 4, 2) == expected
+
+    def test_collapse_with_steps(self, runtime_mode):
+        fn = transform(collapse_with_steps, runtime_mode)
+        expected = sorted((i, j) for i in range(0, 9, 2)
+                          for j in range(5, -1, -3))
+        assert fn(9) == expected
+
+    def test_non_rectangular_rejected(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="rectangular"):
+            transform(collapse_not_rectangular, runtime_mode)
+
+    def test_not_perfectly_nested_rejected(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="nested"):
+            transform(collapse_not_nested, runtime_mode)
+
+
+class TestLastprivate:
+    def test_lastprivate_gets_final_iteration(self, runtime_mode):
+        fn = transform(lastprivate_loop, runtime_mode)
+        assert fn(23) == 220
+
+    def test_first_and_lastprivate(self, runtime_mode):
+        fn = transform(firstprivate_lastprivate_loop, runtime_mode)
+        assert fn(9) == 8
+
+    def test_lastprivate_empty_loop_keeps_value(self, runtime_mode):
+        fn = transform(lastprivate_loop, runtime_mode)
+        assert fn(0) == -1
+
+
+class TestOrdered:
+    def test_ordered_regions_run_in_iteration_order(self, runtime_mode):
+        fn = transform(ordered_loop, runtime_mode)
+        assert fn(25) == [(i, i * i) for i in range(25)]
+
+
+class TestPrivateClauses:
+    def test_loop_private(self, runtime_mode):
+        fn = transform(loop_private_clause, runtime_mode)
+        outer, seen = fn(8)
+        assert outer == 1000
+        assert seen == [i * 2 for i in range(8)]
+
+    def test_nowait(self, runtime_mode):
+        fn = transform(nowait_loop, runtime_mode)
+        assert fn(16) == [0, 1]
+
+
+class TestLoopErrors:
+    def test_non_range_iterable_rejected(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="range"):
+            transform(loop_over_list_rejected, runtime_mode)
+
+    def test_break_of_ws_loop_rejected(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="break"):
+            transform(loop_break_rejected, runtime_mode)
+
+    def test_break_of_inner_loop_allowed(self, runtime_mode):
+        fn = transform(loop_inner_break_allowed, runtime_mode)
+        expected = sum(min(i + 1, 10) for i in range(12))
+        assert fn(12) == expected

@@ -1,0 +1,162 @@
+"""Remaining edge coverage: atomic forms, nesting restrictions,
+collapse+lastprivate, dump/debug options, and generated-code hygiene."""
+
+import ast
+
+import pytest
+
+from repro import Mode, transform
+from repro.errors import OmpSyntaxError
+
+
+def atomic_symmetric_form(n):
+    from repro import omp
+    counter = 0
+    with omp("parallel num_threads(3)"):
+        for _ in range(n):
+            with omp("atomic"):
+                counter = counter + 1
+    return counter
+
+
+def atomic_reversed_operands(n):
+    from repro import omp
+    counter = 0
+    with omp("parallel num_threads(2)"):
+        for _ in range(n):
+            with omp("atomic"):
+                counter = 1 + counter
+    return counter
+
+
+def ordered_without_clause(n):
+    from repro import omp
+    with omp("parallel for"):
+        for i in range(n):
+            with omp("ordered"):
+                pass
+
+
+def ordered_outside_loop(n):
+    from repro import omp
+    with omp("parallel"):
+        with omp("ordered"):
+            pass
+
+
+def collapse_with_lastprivate(rows, cols):
+    from repro import omp
+    last = -1
+    with omp("parallel for collapse(2) lastprivate(last) "
+             "num_threads(3) schedule(dynamic, 2)"):
+        for i in range(rows):
+            for j in range(cols):
+                last = i * 1000 + j
+    return last
+
+
+def loop_with_continue(n):
+    from repro import omp
+    total = 0
+    with omp("parallel for reduction(+:total) num_threads(2)"):
+        for i in range(n):
+            if i % 3 == 0:
+                continue
+            total += i
+    return total
+
+
+def taskwait_outside_task_context(n):
+    from repro import omp
+    omp("taskwait")
+    return n
+
+
+def nested_class_inside_function(n):
+    from repro import omp
+    total = 0
+
+    class Helper:
+        factor = 2
+
+        def apply(self, value):
+            return value * self.factor
+
+    helper = Helper()
+    with omp("parallel for reduction(+:total) num_threads(2)"):
+        for i in range(n):
+            total += helper.apply(i)
+    return total
+
+
+def generated_symbols_collide_attempt(n):
+    from repro import omp
+    # A user variable already carrying the internal prefix: the symbol
+    # generator must avoid it.
+    __omp_bounds_0 = 42
+    total = 0
+    with omp("parallel for reduction(+:total) num_threads(2)"):
+        for i in range(n):
+            total += __omp_bounds_0
+    return total, __omp_bounds_0
+
+
+class TestAtomicForms:
+    def test_x_equals_x_plus_expr(self, runtime_mode):
+        fn = transform(atomic_symmetric_form, runtime_mode)
+        assert fn(80) == 240
+
+    def test_x_equals_expr_plus_x(self, runtime_mode):
+        fn = transform(atomic_reversed_operands, runtime_mode)
+        assert fn(60) == 120
+
+
+class TestOrderedPlacement:
+    def test_ordered_requires_clause(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="ordered clause"):
+            transform(ordered_without_clause, runtime_mode)
+
+    def test_ordered_requires_loop(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="enclosing for"):
+            transform(ordered_outside_loop, runtime_mode)
+
+
+class TestCollapseLastprivate:
+    def test_lastprivate_gets_final_linear_iteration(self, runtime_mode):
+        fn = transform(collapse_with_lastprivate, runtime_mode)
+        assert fn(4, 6) == 3 * 1000 + 5
+
+
+class TestControlFlow:
+    def test_continue_in_ws_loop(self, runtime_mode):
+        fn = transform(loop_with_continue, runtime_mode)
+        assert fn(20) == sum(i for i in range(20) if i % 3)
+
+    def test_taskwait_in_serial_context(self, runtime_mode):
+        fn = transform(taskwait_outside_task_context, runtime_mode)
+        assert fn(5) == 5
+
+    def test_class_definition_inside_function(self, runtime_mode):
+        fn = transform(nested_class_inside_function, runtime_mode)
+        assert fn(10) == 2 * sum(range(10))
+
+
+class TestGeneratedCodeHygiene:
+    def test_user_symbols_with_internal_prefix_survive(self,
+                                                       runtime_mode):
+        fn = transform(generated_symbols_collide_attempt, runtime_mode)
+        assert fn(5) == (210, 42)
+
+    def test_generated_source_parses_and_has_no_directives(self):
+        fn = transform(loop_with_continue, Mode.HYBRID)
+        tree = ast.parse(fn.__omp_source__)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and isinstance(node.func,
+                                                         ast.Name):
+                assert node.func.id != "omp", "directive survived"
+
+    def test_dump_and_debug_flags_do_not_break(self, capsys):
+        transform(loop_with_continue, Mode.COMPILED_DT, dump=True,
+                  debug=True)
+        captured = capsys.readouterr()
+        assert "generated code" in captured.err

@@ -1,0 +1,251 @@
+"""End-to-end tests of the ``parallel`` construct and data sharing."""
+
+import pytest
+
+from repro import Mode, transform
+from repro.errors import OmpSyntaxError, OmpTransformError
+
+
+# --- module-level subject functions (transform needs real source) -----
+
+def region_counts_threads(n):
+    from repro import omp, omp_get_thread_num
+    seen = []
+    with omp("parallel num_threads(3)"):
+        seen.append(omp_get_thread_num())
+    return sorted(seen)
+
+
+def shared_default(n):
+    from repro import omp
+    total = 0
+    with omp("parallel num_threads(4)"):
+        with omp("critical"):
+            total += 1
+    return total
+
+
+def private_variable(n):
+    from repro import omp, omp_get_thread_num
+    x = 99
+    outcome = []
+    with omp("parallel num_threads(2) private(x)"):
+        x = omp_get_thread_num() + 1
+        with omp("critical"):
+            outcome.append(x)
+    return x, sorted(outcome)
+
+
+def private_read_before_write():
+    from repro import omp
+    x = 123
+    failures = []
+    with omp("parallel num_threads(2) private(x)"):
+        try:
+            _ = x + 1
+        except Exception as error:
+            with omp("critical"):
+                failures.append(type(error).__name__)
+    return failures
+
+
+def firstprivate_variable(n):
+    from repro import omp
+    x = 10
+    results = []
+    with omp("parallel num_threads(3) firstprivate(x)"):
+        x = x + 1
+        with omp("critical"):
+            results.append(x)
+    return x, results
+
+
+def reduction_sum(n):
+    from repro import omp
+    total = 0
+    with omp("parallel num_threads(4) reduction(+:total)"):
+        total += 5
+    return total
+
+def reduction_multiple_vars(n):
+    from repro import omp
+    s = 0
+    p = 1
+    with omp("parallel num_threads(3) reduction(+:s) reduction(*:p)"):
+        s += 2
+        p *= 2
+    return s, p
+
+
+def if_clause_serializes(n):
+    from repro import omp, omp_get_num_threads
+    sizes = []
+    with omp("parallel num_threads(4) if(n > 100)"):
+        with omp("critical"):
+            sizes.append(omp_get_num_threads())
+    return sizes
+
+
+def default_none_ok(n):
+    from repro import omp
+    total = 0
+    with omp("parallel num_threads(2) default(none) shared(total)"):
+        with omp("critical"):
+            total += 1
+    return total
+
+
+def default_none_missing(n):
+    from repro import omp
+    total = 0
+    with omp("parallel default(none)"):
+        with omp("critical"):
+            total += 1
+    return total
+
+
+def default_firstprivate(n):
+    from repro import omp
+    x = 7
+    results = []
+    with omp("parallel num_threads(2) default(firstprivate) shared(results)"):
+        x = x * 2
+        with omp("critical"):
+            results.append(x)
+    return x, results
+
+
+def locals_inside_block_are_thread_local(n):
+    from repro import omp, omp_get_thread_num
+    seen = []
+    with omp("parallel num_threads(4)"):
+        mine = omp_get_thread_num() * 10
+        with omp("critical"):
+            seen.append(mine)
+    return sorted(seen)
+
+
+def nested_parallel_regions(n):
+    from repro import (omp, omp_get_level, omp_set_nested, omp_get_nested)
+    levels = []
+    omp_set_nested(True)
+    try:
+        with omp("parallel num_threads(2)"):
+            with omp("parallel num_threads(2)"):
+                with omp("critical"):
+                    levels.append(omp_get_level())
+    finally:
+        omp_set_nested(False)
+    return levels
+
+
+def return_inside_parallel(n):
+    from repro import omp
+    with omp("parallel"):
+        return 1
+
+
+def module_source_has_global():
+    from repro import omp
+    global MODULE_COUNTER
+    MODULE_COUNTER = 0
+    with omp("parallel num_threads(3)"):
+        with omp("critical"):
+            MODULE_COUNTER += 1
+    return MODULE_COUNTER
+
+
+MODULE_COUNTER = 0
+
+
+class TestParallelBasics:
+    def test_team_of_three(self, runtime_mode):
+        fn = transform(region_counts_threads, runtime_mode)
+        assert fn(0) == [0, 1, 2]
+
+    def test_shared_by_default(self, runtime_mode):
+        fn = transform(shared_default, runtime_mode)
+        assert fn(0) == 4
+
+    def test_if_clause(self, runtime_mode):
+        fn = transform(if_clause_serializes, runtime_mode)
+        assert fn(1) == [1]
+        assert sorted(fn(1000)) == [4, 4, 4, 4]
+
+
+class TestDataSharing:
+    def test_private_leaves_outer_unchanged(self, runtime_mode):
+        fn = transform(private_variable, runtime_mode)
+        outer, inner = fn(0)
+        assert outer == 99
+        assert inner == [1, 2]
+
+    def test_private_starts_undefined(self, runtime_mode):
+        fn = transform(private_read_before_write, runtime_mode)
+        failures = fn()
+        assert len(failures) == 2  # both threads failed loudly
+
+    def test_firstprivate_captures_value(self, runtime_mode):
+        fn = transform(firstprivate_variable, runtime_mode)
+        outer, results = fn(0)
+        assert outer == 10
+        assert results == [11, 11, 11]
+
+    def test_locals_in_block_are_per_thread(self, runtime_mode):
+        fn = transform(locals_inside_block_are_thread_local, runtime_mode)
+        assert fn(0) == [0, 10, 20, 30]
+
+    def test_default_none_with_explicit_shared(self, runtime_mode):
+        fn = transform(default_none_ok, runtime_mode)
+        assert fn(0) == 2
+
+    def test_default_none_missing_raises_at_transform(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="default\\(none\\)"):
+            transform(default_none_missing, runtime_mode)
+
+    def test_default_firstprivate(self, runtime_mode):
+        fn = transform(default_firstprivate, runtime_mode)
+        outer, results = fn(0)
+        assert outer == 7
+        assert results == [14, 14]
+
+    def test_global_variable_sharing(self, runtime_mode):
+        fn = transform(module_source_has_global, runtime_mode)
+        assert fn() == 3
+
+
+class TestReductions:
+    def test_sum(self, runtime_mode):
+        fn = transform(reduction_sum, runtime_mode)
+        assert fn(0) == 20
+
+    def test_multiple_reductions(self, runtime_mode):
+        fn = transform(reduction_multiple_vars, runtime_mode)
+        assert fn(0) == (6, 8)
+
+
+class TestNesting:
+    def test_nested_levels(self, runtime_mode):
+        fn = transform(nested_parallel_regions, runtime_mode)
+        levels = fn(0)
+        assert len(levels) == 4
+        assert all(level == 2 for level in levels)
+
+
+class TestErrors:
+    def test_return_in_block_rejected(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="return"):
+            transform(return_inside_parallel, runtime_mode)
+
+    def test_closure_rejected(self):
+        x = 1
+
+        def closure_fn():
+            return x
+
+        with pytest.raises(OmpTransformError, match="closes over"):
+            transform(closure_fn, Mode.HYBRID)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(OmpTransformError):
+            transform(42, Mode.HYBRID)

@@ -1,0 +1,179 @@
+"""End-to-end tests of sections, single, master, and copyprivate."""
+
+import pytest
+
+from repro import transform
+from repro.errors import OmpSyntaxError
+
+
+def three_sections(n):
+    from repro import omp
+    log = []
+    with omp("parallel num_threads(3)"):
+        with omp("sections"):
+            with omp("section"):
+                with omp("critical"):
+                    log.append("a")
+            with omp("section"):
+                with omp("critical"):
+                    log.append("b")
+            with omp("section"):
+                with omp("critical"):
+                    log.append("c")
+    return sorted(log)
+
+
+def parallel_sections_combined(n):
+    from repro import omp
+    log = []
+    with omp("parallel sections num_threads(2)"):
+        with omp("section"):
+            with omp("critical"):
+                log.append(1)
+        with omp("section"):
+            with omp("critical"):
+                log.append(2)
+    return sorted(log)
+
+
+def sections_more_than_threads(n):
+    from repro import omp
+    log = []
+    with omp("parallel num_threads(2)"):
+        with omp("sections"):
+            with omp("section"):
+                with omp("critical"):
+                    log.append(0)
+            with omp("section"):
+                with omp("critical"):
+                    log.append(1)
+            with omp("section"):
+                with omp("critical"):
+                    log.append(2)
+            with omp("section"):
+                with omp("critical"):
+                    log.append(3)
+            with omp("section"):
+                with omp("critical"):
+                    log.append(4)
+    return sorted(log)
+
+
+def sections_lastprivate(n):
+    from repro import omp
+    v = -1
+    with omp("parallel num_threads(2)"):
+        with omp("sections lastprivate(v)"):
+            with omp("section"):
+                v = 10
+            with omp("section"):
+                v = 20
+            with omp("section"):
+                v = 30
+    return v
+
+
+def sections_with_stray_statement(n):
+    from repro import omp
+    with omp("sections"):
+        x = 1
+        with omp("section"):
+            pass
+
+
+def stray_section(n):
+    from repro import omp
+    with omp("section"):
+        pass
+
+
+def single_runs_once(n):
+    from repro import omp
+    counter = []
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            counter.append(1)
+        with omp("single"):
+            counter.append(2)
+    return sorted(counter)
+
+
+def single_copyprivate(n):
+    from repro import omp, omp_get_thread_num
+    observed = []
+    value = None
+    with omp("parallel num_threads(3) private(value)"):
+        with omp("single copyprivate(value)"):
+            value = 42
+        with omp("critical"):
+            observed.append(value)
+    return observed
+
+
+def copyprivate_two_vars(n):
+    from repro import omp
+    a = None
+    b = None
+    out = []
+    with omp("parallel num_threads(2) private(a, b)"):
+        with omp("single copyprivate(a, b)"):
+            a = "x"
+            b = "y"
+        with omp("critical"):
+            out.append((a, b))
+    return out
+
+
+def master_only_thread_zero(n):
+    from repro import omp, omp_get_thread_num
+    hits = []
+    with omp("parallel num_threads(4)"):
+        with omp("master"):
+            hits.append(omp_get_thread_num())
+    return hits
+
+
+class TestSections:
+    def test_each_section_once(self, runtime_mode):
+        fn = transform(three_sections, runtime_mode)
+        assert fn(0) == ["a", "b", "c"]
+
+    def test_combined_parallel_sections(self, runtime_mode):
+        fn = transform(parallel_sections_combined, runtime_mode)
+        assert fn(0) == [1, 2]
+
+    def test_more_sections_than_threads(self, runtime_mode):
+        fn = transform(sections_more_than_threads, runtime_mode)
+        assert fn(0) == [0, 1, 2, 3, 4]
+
+    def test_lastprivate_takes_lexically_last(self, runtime_mode):
+        fn = transform(sections_lastprivate, runtime_mode)
+        assert fn(0) == 30
+
+    def test_stray_statement_rejected(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="only"):
+            transform(sections_with_stray_statement, runtime_mode)
+
+    def test_stray_section_rejected(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="section"):
+            transform(stray_section, runtime_mode)
+
+
+class TestSingle:
+    def test_single_runs_once_per_region(self, runtime_mode):
+        fn = transform(single_runs_once, runtime_mode)
+        assert fn(0) == [1, 2]
+
+    def test_copyprivate_broadcasts(self, runtime_mode):
+        fn = transform(single_copyprivate, runtime_mode)
+        assert fn(0) == [42, 42, 42]
+
+    def test_copyprivate_multiple_vars(self, runtime_mode):
+        fn = transform(copyprivate_two_vars, runtime_mode)
+        assert fn(0) == [("x", "y"), ("x", "y")]
+
+
+class TestMaster:
+    def test_master_is_thread_zero_no_barrier(self, runtime_mode):
+        fn = transform(master_only_thread_zero, runtime_mode)
+        assert fn(0) == [0]

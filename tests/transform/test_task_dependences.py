@@ -1,0 +1,171 @@
+"""Tests of the task-dependence prototype (paper Section V sketch).
+
+The dependence key is object identity (the paper's proposed first
+step); the tests drive producer/consumer chains whose ordering is only
+correct if the dependence graph is honoured.
+"""
+
+import pytest
+
+from repro import transform
+from repro.cruntime import cruntime
+from repro.errors import OmpSyntaxError
+from repro.runtime import pure_runtime
+
+
+def chain_in_out(n):
+    from repro import omp
+    buffer = [0]
+    log = []
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            with omp("task depend(out: buffer)"):
+                buffer[0] = 1
+                log.append("produce")
+            with omp("task depend(in: buffer)"):
+                log.append(("consume", buffer[0]))
+    return log
+
+
+def two_readers_then_writer(n):
+    from repro import omp
+    data = [10]
+    log = []
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            with omp("task depend(out: data)"):
+                data[0] = 42
+            with omp("task depend(in: data)"):
+                with omp("critical"):
+                    log.append(("r1", data[0]))
+            with omp("task depend(in: data)"):
+                with omp("critical"):
+                    log.append(("r2", data[0]))
+            with omp("task depend(out: data)"):
+                with omp("critical"):
+                    log.append(("w", len(log)))
+                data[0] = 99
+    return sorted(log), data[0]
+
+
+def pipeline_stages(n):
+    from repro import omp
+    stage_a = [0] * n
+    stage_b = [0] * n
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            with omp("task depend(out: stage_a)"):
+                for i in range(n):
+                    stage_a[i] = i + 1
+            with omp("task depend(in: stage_a) depend(out: stage_b)"):
+                for i in range(n):
+                    stage_b[i] = stage_a[i] * 2
+            with omp("task depend(inout: stage_b)"):
+                for i in range(n):
+                    stage_b[i] += 1
+    return stage_b
+
+
+def long_chain(n):
+    from repro import omp
+    cell = [0]
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            for _step in range(n):
+                with omp("task depend(inout: cell)"):
+                    cell[0] += 1
+    return cell[0]
+
+
+def independent_objects_run_unordered(n):
+    from repro import omp
+    left = [0]
+    right = [0]
+    with omp("parallel num_threads(2)"):
+        with omp("single"):
+            with omp("task depend(out: left)"):
+                left[0] = 1
+            with omp("task depend(out: right)"):
+                right[0] = 2
+    return left[0], right[0]
+
+
+def undeferred_respects_dependences(n):
+    from repro import omp
+    cell = [0]
+    observed = []
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            with omp("task depend(out: cell)"):
+                cell[0] = 7
+            with omp("task if(n > 1000) depend(in: cell)"):
+                observed.append(cell[0])
+    return observed
+
+
+def bad_depend_type(n):
+    from repro import omp
+    x = [0]
+    with omp("task depend(sideways: x)"):
+        pass
+
+
+class TestDependences:
+    @pytest.fixture(autouse=True, params=["pure", "hybrid"])
+    def mode(self, request):
+        return request.param
+
+    def test_producer_before_consumer(self, mode):
+        fn = transform(chain_in_out, mode)
+        for _repeat in range(5):
+            assert fn(0) == ["produce", ("consume", 1)]
+
+    def test_readers_see_writer_and_block_next_writer(self, mode):
+        fn = transform(two_readers_then_writer, mode)
+        for _repeat in range(5):
+            log, final = fn(0)
+            assert log == [("r1", 42), ("r2", 42), ("w", 2)]
+            assert final == 99
+
+    def test_pipeline(self, mode):
+        fn = transform(pipeline_stages, mode)
+        assert fn(8) == [(i + 1) * 2 + 1 for i in range(8)]
+
+    def test_long_inout_chain_is_sequential(self, mode):
+        fn = transform(long_chain, mode)
+        assert fn(25) == 25
+
+    def test_independent_objects_complete(self, mode):
+        fn = transform(independent_objects_run_unordered, mode)
+        assert fn(0) == (1, 2)
+
+    def test_undeferred_task_waits_for_predecessors(self, mode):
+        fn = transform(undeferred_respects_dependences, mode)
+        for _repeat in range(5):
+            assert fn(0) == [7]
+
+
+class TestDependValidation:
+    def test_bad_depend_type_rejected(self):
+        with pytest.raises(OmpSyntaxError, match="in/out/inout"):
+            transform(bad_depend_type, "hybrid")
+
+    def test_runtime_api_directly(self):
+        """The runtime-level API is usable without the decorator."""
+        for rt in (pure_runtime, cruntime):
+            log = []
+            marker = object()
+
+            def region():
+                state = rt.single_begin()
+                if state.selected:
+                    rt.task_submit(lambda: log.append("first"),
+                                   depends_out=(marker,))
+                    rt.task_submit(lambda: log.append("second"),
+                                   depends_in=(marker,))
+                    rt.task_submit(lambda: log.append("third"),
+                                   depends_out=(marker,))
+                rt.single_end(state)
+
+            rt.parallel_run(region, num_threads=4)
+            assert log == ["first", "second", "third"]

@@ -1,0 +1,147 @@
+"""End-to-end tests of the taskloop prototype (paper Section V)."""
+
+import pytest
+
+from repro import transform
+from repro.errors import OmpSyntaxError
+
+
+def taskloop_fill(n):
+    from repro import omp
+    out = [0] * n
+    with omp("parallel num_threads(3)"):
+        with omp("single"):
+            with omp("taskloop grainsize(8)"):
+                for i in range(n):
+                    out[i] = i * 3
+    return out
+
+
+def taskloop_num_tasks(n):
+    from repro import omp
+    out = [0] * n
+    with omp("parallel num_threads(3)"):
+        with omp("single"):
+            with omp("taskloop num_tasks(5)"):
+                for i in range(n):
+                    out[i] = i + 1
+    return out
+
+
+def taskloop_default_grain(n):
+    from repro import omp
+    out = [0] * n
+    with omp("parallel num_threads(2)"):
+        with omp("single"):
+            with omp("taskloop"):
+                for i in range(n):
+                    out[i] = i
+    return out
+
+
+def taskloop_with_step(n):
+    from repro import omp
+    hits = []
+    with omp("parallel num_threads(3)"):
+        with omp("single"):
+            with omp("taskloop grainsize(4)"):
+                for i in range(0, n, 5):
+                    with omp("critical"):
+                        hits.append(i)
+    return sorted(hits)
+
+
+def taskloop_shared_accumulation(n):
+    from repro import omp
+    total = 0
+    with omp("parallel num_threads(3)"):
+        with omp("single"):
+            with omp("taskloop grainsize(10)"):
+                for i in range(n):
+                    with omp("critical"):
+                        total += i
+    return total
+
+
+def taskloop_joins_before_continuing(n):
+    from repro import omp
+    out = [0] * n
+    order = []
+    with omp("parallel num_threads(3)"):
+        with omp("single"):
+            with omp("taskloop grainsize(4)"):
+                for i in range(n):
+                    out[i] = 1
+            # Implicit taskgroup: every task finished by here.
+            order.append(sum(out))
+    return order
+
+
+def taskloop_firstprivate(n):
+    from repro import omp
+    scale = 10
+    out = [0] * n
+    with omp("parallel num_threads(2)"):
+        with omp("single"):
+            with omp("taskloop grainsize(8) firstprivate(scale)"):
+                for i in range(n):
+                    out[i] = i * scale
+    return out
+
+
+def taskloop_grain_and_num_tasks(n):
+    from repro import omp
+    with omp("taskloop grainsize(4) num_tasks(2)"):
+        for i in range(n):
+            pass
+
+
+def taskloop_over_list(items):
+    from repro import omp
+    with omp("taskloop"):
+        for item in items:
+            pass
+
+
+class TestTaskloop:
+    def test_fill(self, runtime_mode):
+        fn = transform(taskloop_fill, runtime_mode)
+        assert fn(53) == [i * 3 for i in range(53)]
+
+    def test_num_tasks(self, runtime_mode):
+        fn = transform(taskloop_num_tasks, runtime_mode)
+        assert fn(23) == [i + 1 for i in range(23)]
+
+    def test_default_grain(self, runtime_mode):
+        fn = transform(taskloop_default_grain, runtime_mode)
+        assert fn(40) == list(range(40))
+
+    def test_step(self, runtime_mode):
+        fn = transform(taskloop_with_step, runtime_mode)
+        assert fn(47) == list(range(0, 47, 5))
+
+    def test_shared_accumulation(self, runtime_mode):
+        fn = transform(taskloop_shared_accumulation, runtime_mode)
+        assert fn(30) == sum(range(30))
+
+    def test_implicit_taskgroup_join(self, runtime_mode):
+        fn = transform(taskloop_joins_before_continuing, runtime_mode)
+        assert fn(21) == [21]
+
+    def test_firstprivate(self, runtime_mode):
+        fn = transform(taskloop_firstprivate, runtime_mode)
+        assert fn(9) == [i * 10 for i in range(9)]
+
+    def test_empty_range(self, runtime_mode):
+        fn = transform(taskloop_fill, runtime_mode)
+        assert fn(0) == []
+
+
+class TestTaskloopErrors:
+    def test_grainsize_num_tasks_exclusive(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="mutually exclusive"):
+            transform(taskloop_grain_and_num_tasks, runtime_mode)
+
+    def test_requires_range_loop(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="range"):
+            transform(taskloop_over_list, runtime_mode)

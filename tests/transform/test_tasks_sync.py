@@ -1,0 +1,279 @@
+"""End-to-end tests of task, taskwait, barrier, critical, atomic, flush,
+threadprivate, and declare reduction."""
+
+import pytest
+
+from repro import transform
+from repro.errors import OmpSyntaxError
+
+
+def fibonacci_tasks(n):
+    from repro import omp
+    return _fib_impl(n)
+
+
+def _fib_impl(n):
+    # Plain helper: recursion happens through the decorated wrapper in
+    # the paper's Fig. 4; here we keep the whole computation in one
+    # transformed function for test simplicity.
+    from repro import omp
+    result = {}
+
+    def fib(k):
+        if k <= 1:
+            return k
+        out = {}
+        with omp("task if(k > 6)"):
+            out["a"] = fib(k - 1)
+        with omp("task if(k > 6)"):
+            out["b"] = fib(k - 2)
+        omp("taskwait")
+        return out["a"] + out["b"]
+
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            result["value"] = fib(n)
+    return result["value"]
+
+
+def task_shared_results(n):
+    from repro import omp
+    a = 0
+    b = 0
+    with omp("parallel num_threads(2)"):
+        with omp("single"):
+            with omp("task"):
+                a = 10
+            with omp("task"):
+                b = 20
+            omp("taskwait")
+    return a, b
+
+
+def task_firstprivate_capture(n):
+    from repro import omp
+    collected = []
+    with omp("parallel num_threads(2)"):
+        with omp("single"):
+            for i in range(n):
+                with omp("task firstprivate(i)"):
+                    with omp("critical"):
+                        collected.append(i)
+            omp("taskwait")
+    return sorted(collected)
+
+
+def task_untied_accepted(n):
+    from repro import omp
+    done = []
+    with omp("parallel num_threads(2)"):
+        with omp("single"):
+            with omp("task untied"):
+                done.append(1)
+    return done
+
+
+def barrier_phases(n):
+    from repro import omp
+    first = []
+    snapshots = []
+    with omp("parallel num_threads(4)"):
+        with omp("critical"):
+            first.append(1)
+        omp("barrier")
+        with omp("critical"):
+            snapshots.append(len(first))
+    return snapshots
+
+
+def atomic_increment(n):
+    from repro import omp
+    counter = 0
+    with omp("parallel num_threads(4)"):
+        for _ in range(n):
+            with omp("atomic"):
+                counter += 1
+    return counter
+
+
+def atomic_subscript(n):
+    from repro import omp
+    cells = [0, 0]
+    with omp("parallel num_threads(4)"):
+        for _ in range(n):
+            with omp("atomic"):
+                cells[0] += 1
+    return cells[0]
+
+
+def atomic_two_statements(n):
+    from repro import omp
+    counter = 0
+    with omp("parallel"):
+        with omp("atomic"):
+            counter += 1
+            counter += 1
+
+
+def atomic_arbitrary_statement(n):
+    from repro import omp
+    with omp("parallel"):
+        with omp("atomic"):
+            print(n)
+
+
+def critical_named(n):
+    from repro import omp
+    counter = 0
+    with omp("parallel num_threads(4)"):
+        for _ in range(n):
+            with omp("critical(counter_lock)"):
+                counter += 1
+    return counter
+
+
+def flush_statement(n):
+    from repro import omp
+    x = 0
+    with omp("parallel num_threads(2)"):
+        omp("flush(x)")
+        omp("flush")
+    return x
+
+
+def barrier_inside_for(n):
+    from repro import omp
+    with omp("parallel"):
+        with omp("for"):
+            for i in range(n):
+                omp("barrier")
+
+
+def barrier_as_with(n):
+    from repro import omp
+    with omp("barrier"):
+        pass
+
+
+def parallel_as_call(n):
+    from repro import omp
+    omp("parallel")
+
+
+TP_COUNTER = 100
+
+
+def threadprivate_counter(n):
+    from repro import omp, omp_get_thread_num
+    omp("threadprivate(TP_COUNTER)")
+    values = []
+    with omp("parallel num_threads(3)"):
+        TP_COUNTER = TP_COUNTER + omp_get_thread_num()
+        with omp("critical"):
+            values.append(TP_COUNTER)
+    return sorted(values), TP_COUNTER
+
+
+TP_SEED = 7
+
+
+def threadprivate_copyin(n):
+    from repro import omp
+    omp("threadprivate(TP_SEED)")
+    TP_SEED = n
+    got = []
+    with omp("parallel num_threads(3) copyin(TP_SEED)"):
+        with omp("critical"):
+            got.append(TP_SEED)
+    return got
+
+
+def declare_reduction_concat(parts):
+    from repro import omp
+    omp("declare reduction(concat: omp_out + omp_in) initializer('')")
+    text = ""
+    with omp("parallel num_threads(3) reduction(concat: text)"):
+        text += "x"
+    return text
+
+
+class TestTasks:
+    def test_fibonacci(self, runtime_mode):
+        fn = transform(fibonacci_tasks, runtime_mode)
+        assert fn(12) == 144
+
+    def test_shared_results_visible_after_taskwait(self, runtime_mode):
+        fn = transform(task_shared_results, runtime_mode)
+        assert fn(0) == (10, 20)
+
+    def test_firstprivate_captures_loop_value(self, runtime_mode):
+        fn = transform(task_firstprivate_capture, runtime_mode)
+        assert fn(10) == list(range(10))
+
+    def test_untied_is_accepted(self, runtime_mode):
+        fn = transform(task_untied_accepted, runtime_mode)
+        assert fn(0) == [1]
+
+
+class TestBarrier:
+    def test_barrier_separates_phases(self, runtime_mode):
+        fn = transform(barrier_phases, runtime_mode)
+        assert fn(0) == [4, 4, 4, 4]
+
+    def test_barrier_inside_worksharing_rejected(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="nested inside"):
+            transform(barrier_inside_for, runtime_mode)
+
+    def test_barrier_as_with_rejected(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="standalone"):
+            transform(barrier_as_with, runtime_mode)
+
+    def test_parallel_as_bare_call_rejected(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="structured block"):
+            transform(parallel_as_call, runtime_mode)
+
+
+class TestAtomicCritical:
+    def test_atomic_counter(self, runtime_mode):
+        fn = transform(atomic_increment, runtime_mode)
+        assert fn(100) == 400
+
+    def test_atomic_subscript_target(self, runtime_mode):
+        fn = transform(atomic_subscript, runtime_mode)
+        assert fn(50) == 200
+
+    def test_atomic_requires_single_statement(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="exactly one"):
+            transform(atomic_two_statements, runtime_mode)
+
+    def test_atomic_rejects_non_update(self, runtime_mode):
+        with pytest.raises(OmpSyntaxError, match="update"):
+            transform(atomic_arbitrary_statement, runtime_mode)
+
+    def test_named_critical(self, runtime_mode):
+        fn = transform(critical_named, runtime_mode)
+        assert fn(100) == 400
+
+    def test_flush_is_noop(self, runtime_mode):
+        fn = transform(flush_statement, runtime_mode)
+        assert fn(0) == 0
+
+
+class TestThreadprivate:
+    def test_per_thread_copies(self, runtime_mode):
+        fn = transform(threadprivate_counter, runtime_mode)
+        values, main_value = fn(0)
+        assert values == [100, 101, 102]
+        # The main thread's copy was modified by its own team member
+        # (thread 0 adds 0).
+        assert main_value == 100
+
+    def test_copyin_broadcasts_master_value(self, runtime_mode):
+        fn = transform(threadprivate_copyin, runtime_mode)
+        assert fn(55) == [55, 55, 55]
+
+
+class TestDeclareReduction:
+    def test_user_reduction(self, runtime_mode):
+        fn = transform(declare_reduction_concat, runtime_mode)
+        assert fn(None) == "xxx"

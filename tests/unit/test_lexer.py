@@ -1,0 +1,127 @@
+"""Unit tests for the directive tokenizer."""
+
+import pytest
+
+from repro.directives.lexer import Token, TokenKind, TokenStream, tokenize
+from repro.errors import OmpSyntaxError
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text) if t.kind is not TokenKind.END]
+
+
+class TestTokenize:
+    def test_empty_string_yields_only_end(self):
+        assert kinds("") == [TokenKind.END]
+
+    def test_single_identifier(self):
+        tokens = tokenize("parallel")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].text == "parallel"
+
+    def test_identifier_with_underscores(self):
+        assert texts("num_threads") == ["num_threads"]
+
+    def test_number(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].text == "42"
+
+    def test_punctuation(self):
+        assert kinds("(),:;")[:-1] == [
+            TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.COMMA,
+            TokenKind.COLON, TokenKind.SEMICOLON]
+
+    def test_single_char_operators(self):
+        assert texts("+ * - & | ^") == ["+", "*", "-", "&", "|", "^"]
+
+    def test_double_char_operators_are_single_tokens(self):
+        assert texts("&& ||") == ["&&", "||"]
+        assert all(t.kind is TokenKind.OPERATOR
+                   for t in tokenize("&& ||")[:-1])
+
+    def test_whitespace_is_skipped(self):
+        assert texts("  a   b  ") == ["a", "b"]
+
+    def test_unknown_characters_become_other_tokens(self):
+        tokens = tokenize("a > b")
+        assert tokens[1].kind is TokenKind.OTHER
+        assert tokens[1].text == ">"
+
+    def test_positions_are_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].pos == 0
+        assert tokens[1].pos == 3
+
+
+class TestTokenStream:
+    def test_advance_and_current(self):
+        stream = TokenStream("a b")
+        assert stream.current.text == "a"
+        stream.advance()
+        assert stream.current.text == "b"
+
+    def test_advance_stops_at_end(self):
+        stream = TokenStream("a")
+        stream.advance()
+        stream.advance()
+        assert stream.at_end()
+
+    def test_peek(self):
+        stream = TokenStream("a b c")
+        assert stream.peek().text == "b"
+        assert stream.peek(2).text == "c"
+
+    def test_expect_success(self):
+        stream = TokenStream("(")
+        token = stream.expect(TokenKind.LPAREN, "'('")
+        assert token.kind is TokenKind.LPAREN
+
+    def test_expect_failure_raises(self):
+        stream = TokenStream("x")
+        with pytest.raises(OmpSyntaxError, match="expected"):
+            stream.expect(TokenKind.LPAREN, "'('")
+
+    def test_raw_capture_simple(self):
+        stream = TokenStream("if(n > 10) nowait")
+        stream.advance()  # if
+        stream.advance()  # (
+        raw = stream.raw_until_balanced_rparen()
+        assert raw.strip() == "n > 10"
+        assert stream.current.text == "nowait"
+
+    def test_raw_capture_nested_parens(self):
+        stream = TokenStream("if(f(a, g(b))) x")
+        stream.advance()
+        stream.advance()
+        assert stream.raw_until_balanced_rparen() == "f(a, g(b))"
+        assert stream.current.text == "x"
+
+    def test_raw_capture_string_with_paren(self):
+        stream = TokenStream("if(s == ')(') y")
+        stream.advance()
+        stream.advance()
+        assert stream.raw_until_balanced_rparen() == "s == ')('"
+        assert stream.current.text == "y"
+
+    def test_raw_capture_unbalanced_raises(self):
+        stream = TokenStream("if(a")
+        stream.advance()
+        stream.advance()
+        with pytest.raises(OmpSyntaxError, match="unbalanced"):
+            stream.raw_until_balanced_rparen()
+
+
+class TestToken:
+    def test_is_ident_with_names(self):
+        token = Token(TokenKind.IDENT, "for", 0)
+        assert token.is_ident("for", "parallel")
+        assert not token.is_ident("single")
+
+    def test_is_ident_any(self):
+        assert Token(TokenKind.IDENT, "x", 0).is_ident()
+        assert not Token(TokenKind.NUMBER, "1", 0).is_ident()

@@ -1,0 +1,100 @@
+"""Unit tests for the directive model and the declarative spec."""
+
+import pytest
+
+from repro.directives.model import Clause, Directive
+from repro.directives.spec import (ArgShape, CLAUSES, DIRECTIVES,
+                                   REDUCTION_OPERATORS, match_directive)
+
+
+class TestClause:
+    def test_str_bare(self):
+        assert str(Clause("nowait")) == "nowait"
+
+    def test_str_varlist(self):
+        assert str(Clause("private", vars=("a", "b"))) == "private(a, b)"
+
+    def test_str_expr(self):
+        assert str(Clause("if", expr="n > 1")) == "if(n > 1)"
+
+    def test_str_reduction(self):
+        clause = Clause("reduction", op="+", vars=("x", "y"))
+        assert str(clause) == "reduction(+: x, y)"
+
+    def test_str_schedule(self):
+        clause = Clause("schedule", op="dynamic", expr="4")
+        assert str(clause) == "schedule(dynamic, 4)"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Clause("nowait").name = "other"
+
+
+class TestDirective:
+    def build(self):
+        return Directive(
+            name="parallel",
+            clauses=(Clause("private", vars=("a",)),
+                     Clause("private", vars=("b",)),
+                     Clause("if", expr="n")),
+            source="parallel ...")
+
+    def test_clause_returns_first(self):
+        directive = self.build()
+        assert directive.clause("private").vars == ("a",)
+
+    def test_clause_missing_is_none(self):
+        assert self.build().clause("schedule") is None
+
+    def test_all_clauses(self):
+        assert len(self.build().all_clauses("private")) == 2
+
+    def test_clause_vars_merges(self):
+        assert self.build().clause_vars("private") == ("a", "b")
+
+    def test_has_clause(self):
+        directive = self.build()
+        assert directive.has_clause("if")
+        assert not directive.has_clause("nowait")
+
+    def test_str_with_arguments(self):
+        directive = Directive(name="critical", arguments=("name",))
+        assert str(directive) == "critical(name)"
+
+
+class TestSpecConsistency:
+    def test_every_directive_clause_is_defined(self):
+        for spec in DIRECTIVES.values():
+            for clause_name in spec.clauses:
+                assert clause_name in CLAUSES, (
+                    f"{spec.name} references unknown clause "
+                    f"{clause_name}")
+
+    def test_exclusive_pairs_reference_valid_clauses(self):
+        for spec in DIRECTIVES.values():
+            for left, right in spec.exclusive:
+                assert left in spec.clauses
+                assert right in spec.clauses
+
+    def test_standalone_directives(self):
+        standalone = {name for name, spec in DIRECTIVES.items()
+                      if spec.standalone}
+        assert standalone == {"barrier", "taskwait", "flush",
+                              "threadprivate", "declare reduction"}
+
+    def test_match_directive_longest_wins(self):
+        assert match_directive(["parallel", "for"]) == "parallel for"
+        assert match_directive(["parallel", "private"]) == "parallel"
+        assert match_directive(["nonsense"]) is None
+
+    def test_reduction_operator_set(self):
+        assert "+" in REDUCTION_OPERATORS
+        assert "min" in REDUCTION_OPERATORS
+        assert "%" not in REDUCTION_OPERATORS
+
+    def test_clause_shapes_are_coherent(self):
+        assert CLAUSES["private"].shape is ArgShape.VARLIST
+        assert CLAUSES["if"].shape is ArgShape.EXPR
+        assert CLAUSES["nowait"].shape is ArgShape.OPT_EXPR
+        assert CLAUSES["reduction"].repeatable
+        assert not CLAUSES["schedule"].repeatable

@@ -1,0 +1,239 @@
+"""Unit tests for the directive parser and its validation rules."""
+
+import pytest
+
+from repro.directives import parse_directive
+from repro.errors import OmpSyntaxError
+
+
+class TestDirectiveNames:
+    def test_simple_directive(self):
+        assert parse_directive("parallel").name == "parallel"
+
+    def test_combined_directive_with_space(self):
+        assert parse_directive("parallel for").name == "parallel for"
+
+    def test_combined_directive_with_underscore(self):
+        # OpenMP 6.0 syntax, supported per the paper (Section V).
+        assert parse_directive("parallel_for").name == "parallel for"
+
+    def test_parallel_sections(self):
+        assert parse_directive(
+            "parallel sections").name == "parallel sections"
+
+    def test_declare_reduction_two_words(self):
+        directive = parse_directive(
+            "declare reduction(myop: omp_out + omp_in) initializer(0)")
+        assert directive.name == "declare reduction"
+        assert directive.arguments == ("myop",)
+
+    def test_unknown_directive(self):
+        with pytest.raises(OmpSyntaxError, match="unknown directive"):
+            parse_directive("paralel")
+
+    def test_empty_directive(self):
+        with pytest.raises(OmpSyntaxError):
+            parse_directive("")
+
+    def test_directive_name_case_is_normalised(self):
+        assert parse_directive("PARALLEL").name == "parallel"
+
+
+class TestClauseParsing:
+    def test_varlist_clause(self):
+        directive = parse_directive("parallel private(a, b, c)")
+        assert directive.clause_vars("private") == ("a", "b", "c")
+
+    def test_repeated_varlist_clauses_merge(self):
+        directive = parse_directive("parallel private(a) private(b)")
+        assert directive.clause_vars("private") == ("a", "b")
+
+    def test_expr_clause_keeps_raw_text(self):
+        directive = parse_directive("parallel if(n > 10 and m < 3)")
+        assert directive.clause("if").expr == "n > 10 and m < 3"
+
+    def test_num_threads_expression(self):
+        directive = parse_directive("parallel num_threads(2 * k)")
+        assert directive.clause("num_threads").expr == "2 * k"
+
+    def test_reduction_symbol_operator(self):
+        clause = parse_directive("for reduction(+: x)").clause("reduction")
+        assert clause.op == "+"
+        assert clause.vars == ("x",)
+
+    @pytest.mark.parametrize("op", ["+", "*", "-", "&", "|", "^", "&&",
+                                    "||", "min", "max", "and", "or"])
+    def test_all_builtin_reduction_operators(self, op):
+        clause = parse_directive(
+            f"for reduction({op}: x)").clause("reduction")
+        assert clause.op == op
+
+    def test_reduction_user_identifier(self):
+        clause = parse_directive(
+            "for reduction(myop: x, y)").clause("reduction")
+        assert clause.op == "myop"
+        assert clause.vars == ("x", "y")
+
+    def test_schedule_kind_only(self):
+        clause = parse_directive("for schedule(dynamic)").clause("schedule")
+        assert clause.op == "dynamic"
+        assert clause.expr is None
+
+    def test_schedule_with_chunk(self):
+        clause = parse_directive(
+            "for schedule(guided, 4 * c)").clause("schedule")
+        assert clause.op == "guided"
+        assert clause.expr == "4 * c"
+
+    def test_schedule_runtime_rejects_chunk(self):
+        with pytest.raises(OmpSyntaxError):
+            parse_directive("for schedule(runtime, 4)")
+
+    def test_schedule_invalid_kind(self):
+        with pytest.raises(OmpSyntaxError, match="schedule kind"):
+            parse_directive("for schedule(bogus)")
+
+    @pytest.mark.parametrize("policy", ["shared", "none", "private",
+                                        "firstprivate"])
+    def test_default_policies(self, policy):
+        clause = parse_directive(
+            f"parallel default({policy})").clause("default")
+        assert clause.op == policy
+
+    def test_default_invalid_policy(self):
+        with pytest.raises(OmpSyntaxError, match="default policy"):
+            parse_directive("parallel default(everything)")
+
+    def test_nowait_bare(self):
+        assert parse_directive("for nowait").has_clause("nowait")
+
+    def test_nowait_with_argument(self):
+        # Optional argument form from recent standards (paper Section V).
+        clause = parse_directive("for nowait(n > 2)").clause("nowait")
+        assert clause.expr == "n > 2"
+
+    def test_collapse(self):
+        assert parse_directive("for collapse(2)").clause(
+            "collapse").expr == "2"
+
+    def test_clause_separators_commas_and_semicolons(self):
+        directive = parse_directive("for private(a), nowait; ordered")
+        assert directive.has_clause("private")
+        assert directive.has_clause("nowait")
+        assert directive.has_clause("ordered")
+
+    def test_empty_varlist_rejected(self):
+        with pytest.raises(OmpSyntaxError, match="empty list"):
+            parse_directive("parallel private()")
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(OmpSyntaxError, match="empty expression"):
+            parse_directive("parallel if()")
+
+
+class TestDirectArguments:
+    def test_critical_named(self):
+        assert parse_directive("critical(queue)").arguments == ("queue",)
+
+    def test_critical_unnamed(self):
+        assert parse_directive("critical").arguments == ()
+
+    def test_critical_two_names_rejected(self):
+        with pytest.raises(OmpSyntaxError, match="at most 1"):
+            parse_directive("critical(a, b)")
+
+    def test_flush_with_list(self):
+        assert parse_directive("flush(a, b)").arguments == ("a", "b")
+
+    def test_flush_bare(self):
+        assert parse_directive("flush").arguments == ()
+
+    def test_threadprivate_requires_arguments(self):
+        with pytest.raises(OmpSyntaxError, match="requires arguments"):
+            parse_directive("threadprivate")
+
+
+class TestValidation:
+    def test_clause_not_valid_on_directive(self):
+        with pytest.raises(OmpSyntaxError, match="not valid"):
+            parse_directive("barrier nowait")
+
+    def test_schedule_not_valid_on_parallel(self):
+        with pytest.raises(OmpSyntaxError, match="not valid"):
+            parse_directive("parallel schedule(static)")
+
+    def test_non_repeatable_clause_twice(self):
+        with pytest.raises(OmpSyntaxError, match="at most once"):
+            parse_directive("for schedule(static) schedule(dynamic)")
+
+    def test_copyprivate_nowait_exclusive(self):
+        with pytest.raises(OmpSyntaxError, match="mutually exclusive"):
+            parse_directive("single copyprivate(x) nowait")
+
+    def test_variable_in_two_sharing_clauses(self):
+        with pytest.raises(OmpSyntaxError, match="appears in both"):
+            parse_directive("parallel private(x) shared(x)")
+
+    def test_firstprivate_lastprivate_same_var_allowed(self):
+        directive = parse_directive("for firstprivate(x) lastprivate(x)")
+        assert directive.clause_vars("firstprivate") == ("x",)
+        assert directive.clause_vars("lastprivate") == ("x",)
+
+    def test_task_accepts_if_and_untied(self):
+        directive = parse_directive("task if(n > 30) untied")
+        assert directive.clause("if").expr == "n > 30"
+        assert directive.has_clause("untied")
+
+    def test_source_is_preserved(self):
+        text = "parallel for reduction(+:x)"
+        assert parse_directive(text).source == text
+
+
+class TestRoundTrip:
+    """str(directive) must reparse to an equivalent directive."""
+
+    @pytest.mark.parametrize("text", [
+        "parallel",
+        "parallel num_threads(4) if(n > 2)",
+        "parallel for reduction(+: x) schedule(dynamic, 8)",
+        "for collapse(3) ordered nowait",
+        "single copyprivate(a, b)",
+        "sections lastprivate(v) nowait",
+        "critical(region)",
+        "task if(depth < 4) untied firstprivate(x)",
+        "threadprivate(counter)",
+    ])
+    def test_round_trip(self, text):
+        first = parse_directive(text)
+        second = parse_directive(str(first))
+        assert second.name == first.name
+        assert second.arguments == first.arguments
+        assert {c.name for c in second.clauses} == {
+            c.name for c in first.clauses}
+
+
+class TestMoreParserEdges:
+    def test_number_in_varlist_rejected(self):
+        with pytest.raises(OmpSyntaxError, match="identifier"):
+            parse_directive("parallel private(1)")
+
+    def test_depend_clause_parses(self):
+        directive = parse_directive("task depend(in: a, b) "
+                                    "depend(out: c) depend(inout: d)")
+        ops = [(c.op, c.vars) for c in directive.all_clauses("depend")]
+        assert ops == [("in", ("a", "b")), ("out", ("c",)),
+                       ("inout", ("d",))]
+
+    def test_depend_bad_type(self):
+        with pytest.raises(OmpSyntaxError, match="in/out/inout"):
+            parse_directive("task depend(between: a)")
+
+    def test_taskloop_clauses(self):
+        directive = parse_directive(
+            "taskloop grainsize(64) nogroup if(n > 10)")
+        assert directive.clause("grainsize").expr == "64"
+        assert directive.has_clause("nogroup")
+
+    def test_taskloop_num_tasks(self):
+        directive = parse_directive("taskloop num_tasks(2 * t)")
+        assert directive.clause("num_tasks").expr == "2 * t"
