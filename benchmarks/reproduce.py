@@ -41,6 +41,43 @@ def run_command(out_dir: pathlib.Path, name: str, argv: list[str]) -> None:
           f"{out_dir / f'{name}.txt'}\n")
 
 
+def run_smoke(out_dir: pathlib.Path) -> None:
+    """CI smoke mode: one tiny app per figure, assert each completes.
+
+    Uses the ``test`` profile, two thread counts, and a single app per
+    sweep so the whole pass stays in CI-budget territory while still
+    driving every figure's harness end to end.
+    """
+    tiny = ["--profile", "test", "--threads", "1,2", "--repeats", "1"]
+    plan = [
+        ("table1", ["table1"]),
+        ("fig5", ["fig5", *tiny, "--apps", "pi"]),
+        ("fig6", ["fig6", *tiny, "--apps", "wordcount"]),
+        ("fig7", ["fig7", *tiny, "--apps", "wordcount", "--chunk", "4"]),
+        ("fig8", ["fig8", "--profile", "test", "--nodes", "1,2",
+                  "--threads", "2", "--repeats", "1"]),
+        ("headline", ["headline", *tiny, "--apps", "pi"]),
+    ]
+    failures = []
+    for name, argv in plan:
+        try:
+            run_command(out_dir, name, argv)
+        except Exception as error:  # noqa: BLE001 - smoke verdict
+            failures.append(f"{name}: {type(error).__name__}: {error}")
+            continue
+        produced = out_dir / f"{name}.txt"
+        if not produced.exists() or not produced.read_text(
+                encoding="utf-8").strip():
+            failures.append(f"{name}: produced no output")
+    if failures:
+        print("[reproduce] SMOKE FAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        raise SystemExit(1)
+    print(f"[reproduce] smoke OK: {len(plan)} figure harnesses "
+          f"completed (outputs in {out_dir}/)")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", default="default",
@@ -55,10 +92,16 @@ def main() -> None:
     parser.add_argument("--skip-check", action="store_true",
                         help="skip the shape-claim verdicts (their "
                              "bands assume the default profile)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke run: one tiny app per figure, "
+                             "fail if any harness breaks")
     args = parser.parse_args()
 
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
+    if args.smoke:
+        run_smoke(out_dir)
+        return
     common = ["--profile", args.profile, "--threads", args.threads,
               "--repeats", args.repeats]
 

@@ -21,6 +21,8 @@ def main() -> None:
     print("Next steps:")
     print("  python -m repro.analysis.report table1|fig5|fig6|fig7|"
           "fig8|headline|check")
+    print("  python -m repro.lint src/repro/apps examples   "
+          "# static race detector")
     print("  python examples/main.py <mode> <test> <threads> [profile]")
     print("  pytest tests/ && pytest benchmarks/ --benchmark-only")
 

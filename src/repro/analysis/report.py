@@ -150,11 +150,12 @@ def cmd_fig5(args) -> None:
 
 
 def cmd_fig6(args) -> None:
+    apps = args.apps.split(",") if args.apps else list(FIG6_APPS)
     thread_counts = _parse_int_list(args.threads)
     print(f"FIG. 6 — CLUSTERING COEFFICIENT AND WORDCOUNT "
           f"(profile={args.profile})")
     payload = {}
-    for name in FIG6_APPS:
+    for name in apps:
         spec = get_app(name)
         print(f"\n== {name} ({spec.title}) ==")
         points = runner.sweep(spec, thread_counts, args.profile,
@@ -168,9 +169,10 @@ def cmd_fig6(args) -> None:
 def cmd_fig7(args) -> None:
     thread_counts = _parse_int_list(args.threads)
     policies = ("static", "dynamic", "guided")
+    apps = args.apps.split(",") if args.apps else list(FIG6_APPS)
     print(f"FIG. 7 — SCHEDULING POLICIES (chunk={args.chunk}, "
           f"profile={args.profile})")
-    for name in FIG6_APPS:
+    for name in apps:
         spec = get_app(name)
         print(f"\n== {name} ==")
         grids = runner.schedule_sweep(spec, thread_counts, policies,

@@ -52,8 +52,10 @@ def omp(target=None, /, **options):
     (Cython-analogue native compilation — annotations present make it
     *CompiledDT*), ``mode`` (explicit execution mode), ``cache`` (dump
     generated sources into a directory), ``dump`` (print generated
-    code), ``debug``, ``force``, and ``options`` (extra compiler flags).
-    Defaults come from ``OMP4PY_*`` environment variables.
+    code), ``debug``, ``force``, ``options`` (extra compiler flags),
+    and ``lint`` (``"warn"``/``"strict"`` — run the static race
+    detector of :mod:`repro.lint` first).  Defaults come from
+    ``OMP4PY_*`` environment variables.
     """
     if isinstance(target, str):
         if options:
@@ -76,12 +78,14 @@ def _decorate(target, options: dict):
     debug = options.pop("debug", env.decorator_default("debug", False))
     cache = options.pop("cache", env.decorator_default("cache", None))
     force = options.pop("force", env.decorator_default("force", False))
+    lint = options.pop("lint", env.decorator_default("lint", None))
     extra = options.pop("options", None)
     if options:
         raise OmpError(f"unknown omp decorator options: "
                        f"{sorted(options)}")
     return transform(target, mode, dump=dump, debug=debug, cache=cache,
-                     force=bool(force), options=extra, live_globals=True)
+                     force=bool(force), options=extra, live_globals=True,
+                     lint=lint)
 
 
 # ----------------------------------------------------------------------

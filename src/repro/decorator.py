@@ -67,7 +67,8 @@ def _get_source_tree(target) -> ast.AST:
 def transform(target, mode: Mode | str | int | None = None, *,
               dump: bool = False, debug: bool = False,
               live_globals: bool = False, cache: str | None = None,
-              force: bool = False, options: dict | None = None):
+              force: bool = False, options: dict | None = None,
+              lint: str | None = None):
     """Transform a function or class for the given execution mode.
 
     ``live_globals=True`` executes the result in the target's own module
@@ -78,8 +79,16 @@ def transform(target, mode: Mode | str | int | None = None, *,
     original source text and mode: a hit skips the whole transformation
     (the paper's ``cache`` decorator option); ``force`` reprocesses and
     rewrites regardless.
+
+    ``lint`` runs the static race/misuse detector (:mod:`repro.lint`)
+    over the target first: ``"warn"`` turns findings into warnings,
+    ``"strict"`` raises :class:`repro.errors.OmpLintError` on
+    error-severity findings.
     """
     mode = Mode.parse(mode) if mode is not None else default_mode()
+    if lint:
+        from repro.lint import enforce
+        enforce(target, lint)
     if inspect.isfunction(target):
         if target.__code__.co_freevars:
             raise OmpTransformError(

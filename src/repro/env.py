@@ -10,7 +10,7 @@ Two families of variables are honoured, mirroring the paper:
   effect on Python threads).
 * ``OMP4PY_*`` — defaults for the ``omp`` decorator arguments
   (``OMP4PY_CACHE``, ``OMP4PY_DUMP``, ``OMP4PY_DEBUG``, ``OMP4PY_COMPILE``,
-  ``OMP4PY_FORCE``, ``OMP4PY_MODE``).
+  ``OMP4PY_FORCE``, ``OMP4PY_MODE``, ``OMP4PY_LINT``).
 """
 
 from __future__ import annotations

@@ -47,6 +47,21 @@ class OmpTransformError(OmpError):
     """
 
 
+class OmpLintError(OmpError):
+    """The static linter rejected the target under ``lint="strict"``.
+
+    Raised at decoration time when :mod:`repro.lint` reports at least
+    one error-severity finding (an unsynchronized shared write, a read
+    of an uninitialised private, an illegal nesting shape, ...).
+    ``findings`` carries the full list of
+    :class:`repro.lint.Finding` records, warnings included.
+    """
+
+    def __init__(self, message: str, findings: list | None = None):
+        super().__init__(message)
+        self.findings = list(findings or ())
+
+
 class OmpCompileError(OmpError):
     """The *Compiled*/*CompiledDT* pipeline rejected the code.
 

@@ -1,0 +1,117 @@
+"""``omplint`` — static race & directive-misuse detection for ``@omp``
+code.
+
+The linter walks the AST of directive-bearing functions and reports
+:class:`Finding` records for the rule catalogue in
+:mod:`repro.lint.findings`: unsynchronized shared writes, reads of
+uninitialised privates, ineffective first/lastprivate clauses, illegal
+construct nesting and barrier deadlock shapes, and worksharing
+loop-index modification.  Sharing is resolved with the transformer's
+own machinery (:mod:`repro.transform.scope`,
+:mod:`repro.transform.datasharing`), so "shared" here means exactly
+what the generated code makes shared.
+
+Three front ends:
+
+* programmatic — :func:`lint_source` / :func:`lint_file` /
+  :func:`lint_target` return ``list[Finding]``;
+* decorator — ``@omp(lint="warn")`` or ``@omp(lint="strict")``
+  (strict raises :class:`repro.errors.OmpLintError`);
+* CLI — ``python -m repro.lint <files-or-dirs>`` with text/JSON output
+  and CI-friendly exit codes.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+import warnings
+
+from repro.errors import OmpLintError, OmpTransformError
+from repro.lint.findings import (Finding, RULES, Rule, Severity,
+                                 worst_severity)
+from repro.transform import scope
+
+__all__ = ["Finding", "Rule", "RULES", "Severity", "lint_source",
+           "lint_file", "lint_tree", "lint_target", "enforce",
+           "worst_severity"]
+
+
+def lint_tree(tree: ast.Module, *, filename: str = "<string>",
+              module_globals: set[str] | None = None) -> list[Finding]:
+    """Lint every directive-bearing function in a parsed module."""
+    from repro.lint import dataflow
+    from repro.lint.rules import FunctionLinter
+
+    if module_globals is None:
+        module_globals = scope.assigned_names(tree.body)
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not dataflow.contains_directives(node):
+            continue
+        linter = FunctionLinter(node, filename=filename,
+                                module_globals=module_globals)
+        findings.extend(linter.run())
+    findings.sort(key=lambda f: (f.filename, f.lineno, f.col, f.rule))
+    return findings
+
+
+def lint_source(source: str, *, filename: str = "<string>",
+                module_globals: set[str] | None = None) -> list[Finding]:
+    """Lint a module source string."""
+    tree = ast.parse(source, filename=filename)
+    return lint_tree(tree, filename=filename,
+                     module_globals=module_globals)
+
+
+def lint_file(path) -> list[Finding]:
+    """Lint one Python file."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, filename=str(path))
+
+
+def lint_target(target) -> list[Finding]:
+    """Lint a function or class object (the decorator's entry point)."""
+    try:
+        lines, start = inspect.getsourcelines(target)
+        filename = inspect.getfile(target)
+    except (TypeError, OSError) as error:
+        raise OmpTransformError(
+            f"cannot retrieve the source of {target!r} for linting; "
+            f"file-backed source code is required") from error
+    tree = ast.parse(textwrap.dedent("".join(lines)))
+    ast.increment_lineno(tree, start - 1)
+    module_globals = set(getattr(target, "__globals__", None)
+                         or vars(inspect.getmodule(target) or object()))
+    return lint_tree(tree, filename=filename,
+                     module_globals=module_globals)
+
+
+def enforce(target, action: str) -> None:
+    """Apply a lint policy to a decoration target.
+
+    ``action`` is ``"warn"`` (error findings become warnings) or
+    ``"strict"`` (error findings raise :class:`OmpLintError`; warnings
+    still warn).  Anything falsy or ``"off"`` is a no-op.
+    """
+    if not action or action == "off":
+        return
+    if action not in ("warn", "strict"):
+        raise OmpLintError(
+            f"invalid lint option {action!r}: use 'off', 'warn' or "
+            f"'strict'", findings=[])
+    findings = lint_target(target)
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    if action == "strict" and errors:
+        summary = "; ".join(str(f) for f in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        raise OmpLintError(
+            f"omplint found {len(errors)} error-severity finding(s) in "
+            f"{getattr(target, '__qualname__', target)!r}: {summary}"
+            f"{more}", findings=findings)
+    for finding in findings:
+        warnings.warn(f"omplint: {finding}", stacklevel=3)

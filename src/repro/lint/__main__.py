@@ -1,0 +1,16 @@
+"""Entry point: ``python -m repro.lint <files-or-dirs>``."""
+
+import os
+import sys
+
+from repro.lint.cli import main
+
+try:
+    code = main()
+    sys.stdout.flush()
+except BrokenPipeError:
+    # The reader went away (e.g. ``... | head``); exit quietly the
+    # way POSIX tools do instead of dumping a traceback.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 1
+sys.exit(code)

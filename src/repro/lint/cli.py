@@ -1,0 +1,101 @@
+"""``python -m repro.lint`` — the omplint command line.
+
+Exit codes follow the CI contract:
+
+* ``0`` — no finding at or above the ``--fail-on`` severity,
+* ``1`` — at least one such finding,
+* ``2`` — usage error or unreadable/unparsable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.lint import lint_file
+from repro.lint.findings import Finding, RULES, Severity
+from repro.lint.reporters import (render_json, render_rule_catalogue,
+                                  render_text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static race & directive-misuse detector for @omp "
+                    "code (see docs/linting.md for the rule catalogue).")
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="Python files or directories (searched "
+                             "recursively for *.py)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--fail-on", choices=("error", "warning", "never"),
+                        default="error", dest="fail_on",
+                        help="lowest severity that makes the exit code "
+                             "non-zero (default: error)")
+    parser.add_argument("--disable", default="", metavar="IDS",
+                        help="comma-separated rule ids to suppress, "
+                             "e.g. OMP103,OMP104")
+    parser.add_argument("--rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def collect_files(paths: list[str]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def _should_fail(findings: list[Finding], fail_on: str) -> bool:
+    if fail_on == "never":
+        return False
+    if fail_on == "warning":
+        return bool(findings)
+    return any(f.severity is Severity.ERROR for f in findings)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.rules:
+        render_rule_catalogue()
+        return 0
+    if not args.paths:
+        print("error: no input paths (try --rules for the catalogue)",
+              file=sys.stderr)
+        return 2
+
+    disabled = {part.strip().upper()
+                for part in args.disable.split(",") if part.strip()}
+    unknown = disabled - set(RULES)
+    if unknown:
+        print(f"error: unknown rule id(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    checked = 0
+    for path in collect_files(args.paths):
+        try:
+            file_findings = lint_file(path)
+        except (OSError, SyntaxError) as error:
+            print(f"error: cannot lint {path}: {error}", file=sys.stderr)
+            return 2
+        checked += 1
+        findings.extend(f for f in file_findings
+                        if f.rule not in disabled)
+
+    if args.format == "json":
+        render_json(findings, checked=checked)
+    else:
+        render_text(findings, checked=checked)
+    return 1 if _should_fail(findings, args.fail_on) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

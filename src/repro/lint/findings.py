@@ -1,0 +1,121 @@
+"""Findings model and rule catalogue of the ``omplint`` static checker.
+
+Every diagnostic the linter can emit is declared here once, with a
+stable rule id, a default severity, and a one-line summary.  The rule
+engine attaches concrete locations and variable names; the reporters,
+the CLI exit-code logic, and the documentation all consult this table.
+
+Severities follow the CI contract: ``error`` findings ("strict"
+findings) describe code that races or deadlocks under the OpenMP
+semantics the transformer implements, and gate merges; ``warning``
+findings describe clauses that are ineffective as written.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ``ERROR`` findings fail strict/CI runs."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One entry of the rule catalogue."""
+
+    id: str
+    name: str
+    severity: Severity
+    summary: str
+
+
+#: The rule catalogue.  Ids are stable; never renumber.
+RULES: dict[str, Rule] = {
+    rule.id: rule for rule in (
+        Rule("OMP100", "directive-syntax", Severity.ERROR,
+             "a directive string fails to parse or validate"),
+        Rule("OMP101", "shared-write", Severity.ERROR,
+             "unsynchronized write to a shared variable inside a "
+             "parallel region"),
+        Rule("OMP102", "private-use-before-init", Severity.ERROR,
+             "a private variable is read before its first assignment "
+             "in the region"),
+        Rule("OMP103", "unused-firstprivate", Severity.WARNING,
+             "a firstprivate variable's captured value is never read "
+             "in the region"),
+        Rule("OMP104", "unused-lastprivate", Severity.WARNING,
+             "a lastprivate variable is never assigned in the loop "
+             "body, so there is no last value to write back"),
+        Rule("OMP105", "illegal-nesting", Severity.ERROR,
+             "a worksharing construct is closely nested inside another "
+             "worksharing, critical, ordered, master or task region"),
+        Rule("OMP106", "barrier-in-sync", Severity.ERROR,
+             "a barrier inside master/critical/single/ordered or a "
+             "worksharing body (a deadlock shape: not every thread "
+             "reaches it)"),
+        Rule("OMP107", "loop-index-write", Severity.ERROR,
+             "the index of a worksharing loop is modified inside the "
+             "loop body"),
+    )
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One concrete diagnostic, anchored to a source location."""
+
+    rule: str
+    message: str
+    lineno: int
+    col: int = 0
+    variable: str | None = None
+    function: str | None = None
+    filename: str = "<unknown>"
+    directive: str | None = None
+
+    @property
+    def severity(self) -> Severity:
+        return RULES[self.rule].severity
+
+    @property
+    def name(self) -> str:
+        return RULES[self.rule].name
+
+    def location(self) -> str:
+        return f"{self.filename}:{self.lineno}:{self.col + 1}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": self.severity.value,
+            "message": self.message,
+            "filename": self.filename,
+            "lineno": self.lineno,
+            "col": self.col,
+            "variable": self.variable,
+            "function": self.function,
+            "directive": self.directive,
+        }
+
+    def __str__(self) -> str:
+        suffix = f" [{self.variable}]" if self.variable else ""
+        return (f"{self.location()}: {self.rule} {self.severity.value}: "
+                f"{self.message}{suffix}")
+
+
+def worst_severity(findings: list[Finding]) -> Severity | None:
+    """The highest severity present, or ``None`` for a clean run."""
+    if any(f.severity is Severity.ERROR for f in findings):
+        return Severity.ERROR
+    if findings:
+        return Severity.WARNING
+    return None

@@ -1,0 +1,51 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import Counter
+
+from repro.lint.findings import Finding, RULES, Severity
+
+
+def render_text(findings: list[Finding], *, checked: int,
+                out=None) -> None:
+    """GCC-style one-line diagnostics plus a summary footer."""
+    out = out if out is not None else sys.stdout
+    for finding in findings:
+        print(str(finding), file=out)
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings_ = len(findings) - errors
+    if findings:
+        print(file=out)
+    print(f"omplint: {checked} file(s) checked, {errors} error(s), "
+          f"{warnings_} warning(s)", file=out)
+
+
+def render_json(findings: list[Finding], *, checked: int,
+                out=None) -> None:
+    """One JSON document: findings plus per-rule and per-severity
+    tallies (stable shape for CI consumers)."""
+    out = out if out is not None else sys.stdout
+    by_rule = Counter(f.rule for f in findings)
+    payload = {
+        "checked_files": checked,
+        "errors": sum(1 for f in findings
+                      if f.severity is Severity.ERROR),
+        "warnings": sum(1 for f in findings
+                        if f.severity is Severity.WARNING),
+        "by_rule": {rule: by_rule[rule]
+                    for rule in sorted(by_rule)},
+        "findings": [f.to_dict() for f in findings],
+    }
+    json.dump(payload, out, indent=2)
+    print(file=out)
+
+
+def render_rule_catalogue(out=None) -> None:
+    """``--rules``: the catalogue, one line per rule."""
+    out = out if out is not None else sys.stdout
+    for rule in RULES.values():
+        print(f"{rule.id}  {rule.severity.value:<8} {rule.name:<24} "
+              f"{rule.summary}", file=out)

@@ -1,0 +1,44 @@
+"""The shipped corpus must be lint-clean.
+
+Mirrors the CI ``omplint`` gate: every file under ``src/repro/apps``
+and ``examples`` is checked, and no error-severity finding may appear.
+Running it through the CLI entry point also pins the exit-code
+contract on real code rather than synthetic fixtures.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.lint import Severity, lint_file
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SHIPPED_DIRS = [REPO_ROOT / "src" / "repro" / "apps",
+                REPO_ROOT / "examples"]
+
+SHIPPED_FILES = sorted(path for base in SHIPPED_DIRS
+                       for path in base.rglob("*.py"))
+
+
+def test_shipped_corpus_is_nonempty():
+    assert len(SHIPPED_FILES) >= 10
+
+
+@pytest.mark.parametrize(
+    "path", SHIPPED_FILES,
+    ids=[str(p.relative_to(REPO_ROOT)) for p in SHIPPED_FILES])
+def test_shipped_file_has_no_strict_findings(path):
+    errors = [f for f in lint_file(path)
+              if f.severity is Severity.ERROR]
+    assert not errors, "\n".join(str(f) for f in errors)
+
+
+def test_cli_gate_passes_on_shipped_code(capsys):
+    code = lint_main(["--fail-on", "error",
+                      *(str(d) for d in SHIPPED_DIRS)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 error(s)" in out

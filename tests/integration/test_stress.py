@@ -10,6 +10,8 @@ from repro.cruntime import cruntime
 from repro.errors import OmpTransformError
 from repro.runtime import pure_runtime
 
+pytestmark = pytest.mark.slow
+
 
 def small_region(n):
     from repro import omp

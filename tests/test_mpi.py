@@ -7,6 +7,8 @@ from repro.errors import OmpRuntimeError
 from repro.mpi import comm_world, mpirun
 from repro.mpi.comm import MAX, MIN, PROD, SUM
 
+pytestmark = pytest.mark.mpi
+
 
 class TestLauncher:
     def test_returns_per_rank_results(self):

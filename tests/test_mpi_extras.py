@@ -8,6 +8,8 @@ from repro.errors import OmpRuntimeError
 from repro.mpi import mpirun
 from repro.mpi.comm import MAX, MIN, PROD
 
+pytestmark = pytest.mark.mpi
+
 
 class TestPointToPointExtras:
     def test_tag_mismatch_raises(self):

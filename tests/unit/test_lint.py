@@ -1,0 +1,418 @@
+"""Unit tests for ``repro.lint`` (omplint).
+
+A fixture corpus gives every rule id at least one positive case (the
+rule fires, at the right location) and one negative case (the
+synchronized / correct variant stays clean), plus coverage of the
+finding model, the CLI exit-code contract, and the ``@omp(lint=...)``
+decorator policy.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Mode
+from repro.errors import OmpLintError
+from repro.lint import (RULES, Severity, lint_source, worst_severity)
+from repro.lint.cli import main as lint_main
+
+
+def rules_of(source: str) -> list[str]:
+    return [f.rule for f in lint_source(source)]
+
+
+# ---------------------------------------------------------------------
+# Rule corpus: (case id, source, expected rule ids)
+# ---------------------------------------------------------------------
+
+POSITIVE_CASES = [
+    ("OMP100-bad-clause", '''
+def f(n):
+    total = 0
+    with omp("parallel for reduction(+)"):
+        for i in range(n):
+            total += 1
+''', ["OMP100"]),
+    ("OMP100-for-body-not-loop", '''
+def f(n):
+    with omp("parallel for"):
+        x = 1
+''', ["OMP100"]),
+    ("OMP101-parallel-for", '''
+def f(n):
+    total = 0
+    with omp("parallel for"):
+        for i in range(n):
+            total += 1
+    return total
+''', ["OMP101"]),
+    ("OMP101-plain-parallel", '''
+def f(n):
+    hits = 0
+    with omp("parallel"):
+        hits = hits + 1
+    return hits
+''', ["OMP101"]),
+    ("OMP102-read-before-init", '''
+def f(n):
+    x = 1
+    with omp("parallel private(x)"):
+        y = x + 1
+''', ["OMP102"]),
+    ("OMP103-firstprivate-never-read", '''
+def f(n):
+    x = 1
+    with omp("parallel firstprivate(x)"):
+        x = omp_get_thread_num()
+''', ["OMP103"]),
+    ("OMP104-lastprivate-never-assigned", '''
+def f(n):
+    v = 0
+    with omp("parallel for lastprivate(v)"):
+        for i in range(n):
+            pass
+    return v
+''', ["OMP104"]),
+    ("OMP105-for-in-critical", '''
+def f(n):
+    with omp("parallel"):
+        with omp("critical"):
+            with omp("for"):
+                for i in range(n):
+                    pass
+''', ["OMP105"]),
+    ("OMP105-single-in-parallel-for", '''
+def f(n):
+    with omp("parallel for"):
+        for i in range(n):
+            with omp("single"):
+                x = 1
+''', ["OMP105"]),
+    ("OMP106-barrier-in-master", '''
+def f(n):
+    with omp("parallel"):
+        with omp("master"):
+            omp("barrier")
+''', ["OMP106"]),
+    ("OMP107-index-increment", '''
+def f(n):
+    with omp("parallel for"):
+        for i in range(n):
+            i += 1
+''', ["OMP107"]),
+]
+
+NEGATIVE_CASES = [
+    ("OMP100-valid-directive", '''
+def f(n):
+    total = 0
+    with omp("parallel for reduction(+:total) schedule(static)"):
+        for i in range(n):
+            total += 1
+    return total
+'''),
+    ("OMP101-reduction", '''
+def f(n):
+    total = 0
+    with omp("parallel for reduction(+:total)"):
+        for i in range(n):
+            total += 1
+    return total
+'''),
+    ("OMP101-critical", '''
+def f(n):
+    total = 0
+    with omp("parallel"):
+        with omp("critical"):
+            total += 1
+    return total
+'''),
+    ("OMP101-lock-pair", '''
+def f(n):
+    lock = omp_init_lock()
+    total = 0
+    with omp("parallel"):
+        omp_set_lock(lock)
+        total += 1
+        omp_unset_lock(lock)
+    return total
+'''),
+    ("OMP102-assigned-first", '''
+def f(n):
+    x = 1
+    with omp("parallel private(x)"):
+        x = omp_get_thread_num()
+        y = x + 1
+'''),
+    ("OMP103-firstprivate-read", '''
+def f(n):
+    x = 1
+    with omp("parallel firstprivate(x)"):
+        y = x + 1
+'''),
+    ("OMP104-lastprivate-assigned", '''
+def f(n):
+    v = 0
+    with omp("parallel for lastprivate(v)"):
+        for i in range(n):
+            v = i * 2
+    return v
+'''),
+    ("OMP105-for-in-parallel", '''
+def f(n):
+    with omp("parallel"):
+        with omp("for"):
+            for i in range(n):
+                pass
+'''),
+    ("OMP106-barrier-in-parallel", '''
+def f(n):
+    with omp("parallel"):
+        x = omp_get_thread_num()
+        omp("barrier")
+'''),
+    ("OMP107-index-read-only", '''
+def f(n):
+    with omp("parallel for"):
+        for i in range(n):
+            j = i + 1
+'''),
+]
+
+
+@pytest.mark.parametrize(
+    "source,expected",
+    [(src, expected) for _, src, expected in POSITIVE_CASES],
+    ids=[case_id for case_id, _, _ in POSITIVE_CASES])
+def test_rule_fires(source, expected):
+    fired = rules_of(source)
+    for rule in expected:
+        assert rule in fired, f"expected {rule}, got {fired}"
+
+
+@pytest.mark.parametrize(
+    "source", [src for _, src in NEGATIVE_CASES],
+    ids=[case_id for case_id, _ in NEGATIVE_CASES])
+def test_clean_variant_has_no_findings(source):
+    assert rules_of(source) == []
+
+
+def test_every_rule_id_has_corpus_coverage():
+    covered = {rule for _, _, expected in POSITIVE_CASES
+               for rule in expected}
+    assert covered == set(RULES), "corpus must cover every rule id"
+
+
+def test_task_plain_store_is_single_writer():
+    # The paper's Fig. 4 fibonacci shape: each task instance writes a
+    # distinct variable once, synchronized by taskwait — not a race.
+    source = '''
+def fib(n):
+    fib1 = fib2 = 0
+    with omp("parallel"):
+        with omp("single"):
+            with omp("task"):
+                fib1 = n - 1
+            with omp("task"):
+                fib2 = n - 2
+            omp("taskwait")
+    return fib1 + fib2
+'''
+    assert rules_of(source) == []
+
+
+def test_task_augmented_store_still_races():
+    source = '''
+def f(n):
+    acc = 0
+    with omp("parallel"):
+        with omp("single"):
+            for i in range(n):
+                with omp("task"):
+                    acc += i
+'''
+    assert "OMP101" in rules_of(source)
+
+
+def test_finding_anchors_and_payload():
+    source = '''
+def f(n):
+    total = 0
+    with omp("parallel for"):
+        for i in range(n):
+            total += 1
+'''
+    (finding,) = lint_source(source, filename="racy.py")
+    assert finding.rule == "OMP101"
+    assert finding.severity is Severity.ERROR
+    assert finding.variable == "total"
+    assert finding.function == "f"
+    assert finding.lineno == 6
+    assert finding.location().startswith("racy.py:6:")
+    assert "OMP101 error" in str(finding)
+    payload = finding.to_dict()
+    assert payload["rule"] == "OMP101"
+    assert payload["severity"] == "error"
+    assert payload["variable"] == "total"
+
+
+def test_worst_severity():
+    source_racy = '''
+def f(n):
+    total = 0
+    with omp("parallel for"):
+        for i in range(n):
+            total += 1
+'''
+    source_warn = '''
+def f(n):
+    v = 0
+    with omp("parallel for lastprivate(v)"):
+        for i in range(n):
+            pass
+'''
+    assert worst_severity(lint_source(source_racy)) is Severity.ERROR
+    assert worst_severity(lint_source(source_warn)) is Severity.WARNING
+    assert worst_severity([]) is None
+
+
+def test_functions_without_directives_are_skipped():
+    source = '''
+def plain(n):
+    total = 0
+    for i in range(n):
+        total += 1
+    return total
+'''
+    assert lint_source(source) == []
+
+
+# ---------------------------------------------------------------------
+# CLI contract
+# ---------------------------------------------------------------------
+
+RACY = '''from repro import *
+
+def count(n):
+    total = 0
+    with omp("parallel for"):
+        for i in range(n):
+            total += 1
+    return total
+'''
+
+CLEAN = '''from repro import *
+
+def count(n):
+    total = 0
+    with omp("parallel for reduction(+:total)"):
+        for i in range(n):
+            total += 1
+    return total
+'''
+
+
+@pytest.fixture
+def corpus_dir(tmp_path):
+    (tmp_path / "racy.py").write_text(RACY, encoding="utf-8")
+    (tmp_path / "clean.py").write_text(CLEAN, encoding="utf-8")
+    return tmp_path
+
+
+def test_cli_racy_file_exits_nonzero(corpus_dir, capsys):
+    code = lint_main([str(corpus_dir / "racy.py")])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "OMP101" in out
+    assert "1 error(s)" in out
+
+
+def test_cli_clean_file_exits_zero(corpus_dir, capsys):
+    code = lint_main([str(corpus_dir / "clean.py")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 error(s)" in out
+
+
+def test_cli_directory_recursion_and_json(corpus_dir, capsys):
+    code = lint_main(["--format", "json", str(corpus_dir)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["checked_files"] == 2
+    assert payload["errors"] == 1
+    assert payload["by_rule"] == {"OMP101": 1}
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "OMP101"
+    assert finding["filename"].endswith("racy.py")
+
+
+def test_cli_disable_and_fail_on(corpus_dir, capsys):
+    assert lint_main(["--disable", "OMP101",
+                      str(corpus_dir / "racy.py")]) == 0
+    assert lint_main(["--fail-on", "never",
+                      str(corpus_dir / "racy.py")]) == 0
+    capsys.readouterr()
+
+
+def test_cli_usage_errors(corpus_dir, capsys):
+    assert lint_main([]) == 2
+    assert lint_main(["--disable", "OMP999",
+                      str(corpus_dir / "racy.py")]) == 2
+    capsys.readouterr()
+
+
+def test_cli_rules_catalogue(capsys):
+    assert lint_main(["--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULES:
+        assert rule_id in out
+
+
+# ---------------------------------------------------------------------
+# Decorator policy: @omp(lint="warn" | "strict")
+# ---------------------------------------------------------------------
+
+RACY_FUNC = '''
+def count(n):
+    total = 0
+    with omp("parallel for"):
+        for i in range(n):
+            total += 1
+    return total
+'''
+
+CLEAN_FUNC = '''
+def count(n):
+    total = 0
+    with omp("parallel for reduction(+:total)"):
+        for i in range(n):
+            total += 1
+    return total
+'''
+
+
+def test_decorator_strict_raises_on_race(omp_compile):
+    with pytest.raises(OmpLintError) as excinfo:
+        omp_compile(RACY_FUNC, "count", Mode.HYBRID, lint="strict")
+    assert "OMP101" in str(excinfo.value)
+    assert any(f.rule == "OMP101" for f in excinfo.value.findings)
+
+
+def test_decorator_warn_still_transforms(omp_compile):
+    with pytest.warns(UserWarning, match="OMP101"):
+        counted = omp_compile(RACY_FUNC, "count", Mode.HYBRID,
+                              lint="warn")
+    assert callable(counted)
+
+
+def test_decorator_strict_passes_clean_code(omp_compile):
+    counted = omp_compile(CLEAN_FUNC, "count", Mode.HYBRID,
+                          lint="strict")
+    assert counted(1000) == 1000
+
+
+def test_decorator_invalid_policy(omp_compile):
+    with pytest.raises(OmpLintError, match="invalid lint option"):
+        omp_compile(CLEAN_FUNC, "count", Mode.HYBRID, lint="bogus")
