@@ -65,6 +65,18 @@ def print_series_table(points, thread_counts, series_order,
     if bad:
         print(f"    !! {len(bad)} measurement(s) FAILED verification",
               file=out)
+    top = thread_counts[-1]
+    imbalances = []
+    for series in series_order:
+        point = by_key.get((series, top))
+        if point is not None and point.measurement is not None \
+                and point.measurement.regions:
+            imbalances.append((series, point.measurement.imbalance))
+    if imbalances:
+        print(f"    load imbalance at {top} threads "
+              f"(max/mean per-thread CPU): "
+              + "  ".join(f"{series}={value:.2f}"
+                          for series, value in imbalances), file=out)
     print(render_speedup_chart(points, thread_counts, series_order),
           file=out)
 
@@ -112,12 +124,19 @@ def points_to_json(points) -> list[dict]:
     """Serializable form of a sweep (the ``--json`` output)."""
     rows = []
     for point in points:
+        measurement = point.measurement
         rows.append({
             "app": point.app,
             "series": point.series,
             "threads": point.threads,
             "wall_s": point.wall,
             "projected_s": point.projected,
+            "serialized_cpu_s": (measurement.serialized_cpu
+                                 if measurement else None),
+            "critical_cpu_s": (measurement.critical_cpu
+                               if measurement else None),
+            "regions": measurement.regions if measurement else None,
+            "imbalance": measurement.imbalance if measurement else None,
             "verified": point.verified,
             "error": point.error,
         })

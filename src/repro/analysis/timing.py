@@ -28,6 +28,9 @@ class Measurement:
     critical_cpu: float
     regions: int
     value: object = None
+    #: CPU-weighted load imbalance over the recorded regions
+    #: (max over mean per-thread CPU time; 1.0 = perfectly balanced).
+    imbalance: float = 1.0
 
     @property
     def parallel_fraction(self) -> float:
@@ -57,6 +60,7 @@ def measure(fn, /, *args, runtime=None, repeats: int = 1,
     serialized_total = 0.0
     critical_total = 0.0
     regions_total = 0
+    mean_cpu_total = 0.0
     value = None
     # Finer-grained GIL switching reduces measurement noise from thread
     # scheduling granularity; restored afterwards.
@@ -78,16 +82,23 @@ def measure(fn, /, *args, runtime=None, repeats: int = 1,
             serialized_total += serialized
             critical_total += critical
             regions_total += regions
+            mean_cpu_total += sum(r.mean_cpu for r in rt.stats.snapshot())
     finally:
         sys.setswitchinterval(old_interval)
     count = max(1, repeats)
+    # Aggregate imbalance: total critical-path CPU over the total of
+    # per-region mean CPU — a CPU-weighted average of per-region
+    # max/mean ratios.
+    imbalance = critical_total / mean_cpu_total if mean_cpu_total > 0 \
+        else 1.0
     return Measurement(
         wall=statistics.fmean(walls),
         projected=statistics.fmean(projections),
         serialized_cpu=serialized_total / count,
         critical_cpu=critical_total / count,
         regions=regions_total // count,
-        value=value)
+        value=value,
+        imbalance=imbalance)
 
 
 def measure_mpi(launch, nodes: int, /, *args, runtime=None,

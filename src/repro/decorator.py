@@ -26,12 +26,24 @@ _HANDLE_COUNTER = itertools.count()
 
 
 def runtime_for(mode: Mode):
-    """The runtime instance a mode binds as ``__omp__``."""
+    """The runtime instance a mode binds as ``__omp__``.
+
+    When the ``OMP4PY_TRACE`` / ``OMP4PY_METRICS`` environment knobs
+    are set, the returned runtime is auto-instrumented on the way out
+    (see :mod:`repro.ompt.auto`); unset knobs cost two environment
+    reads, nothing more.
+    """
     if mode is Mode.PURE:
         from repro.runtime import pure_runtime
-        return pure_runtime
-    from repro.cruntime import cruntime
-    return cruntime
+        runtime = pure_runtime
+    else:
+        from repro.cruntime import cruntime
+        runtime = cruntime
+    from repro import env
+    if env.trace_spec() is not None or env.metrics_spec() is not None:
+        from repro.ompt.auto import auto_instrument
+        auto_instrument(runtime)
+    return runtime
 
 
 def _is_omp_decorator(node: ast.expr) -> bool:

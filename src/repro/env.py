@@ -10,7 +10,10 @@ Two families of variables are honoured, mirroring the paper:
   effect on Python threads).
 * ``OMP4PY_*`` — defaults for the ``omp`` decorator arguments
   (``OMP4PY_CACHE``, ``OMP4PY_DUMP``, ``OMP4PY_DEBUG``, ``OMP4PY_COMPILE``,
-  ``OMP4PY_FORCE``, ``OMP4PY_MODE``, ``OMP4PY_LINT``).
+  ``OMP4PY_FORCE``, ``OMP4PY_MODE``, ``OMP4PY_LINT``), plus the
+  observability knobs ``OMP4PY_TRACE`` and ``OMP4PY_METRICS`` that
+  auto-instrument every runtime bound by the ``@omp`` decorator (see
+  :mod:`repro.ompt.auto` and docs/observability.md).
 """
 
 from __future__ import annotations
@@ -104,6 +107,34 @@ def default_max_active_levels() -> int:
     if raw:
         return _parse_positive_int("OMP_MAX_ACTIVE_LEVELS", raw)
     return 2**31 - 1
+
+
+def _observability_spec(name: str) -> str | None:
+    """Parse an on/off/path observability knob.
+
+    Returns ``None`` when unset or explicitly off, the sentinel ``"1"``
+    for bare enablement, or the output path the artifact should be
+    written to at interpreter exit.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    value = raw.strip()
+    if not value or value.lower() in _FALSE_STRINGS:
+        return None
+    if value.lower() in _TRUE_STRINGS:
+        return "1"
+    return value
+
+
+def trace_spec() -> str | None:
+    """``OMP4PY_TRACE``: ``None`` / ``"1"`` / an output path."""
+    return _observability_spec("OMP4PY_TRACE")
+
+
+def metrics_spec() -> str | None:
+    """``OMP4PY_METRICS``: ``None`` / ``"1"`` / an output path."""
+    return _observability_spec("OMP4PY_METRICS")
 
 
 def decorator_default(name: str, fallback):

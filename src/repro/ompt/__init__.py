@@ -1,0 +1,42 @@
+"""OMPT-style observability for the OMP4Py runtimes.
+
+The package mirrors, in spirit, the OMPT tools interface of native
+OpenMP runtimes (cf. the OMP4Py paper's measurement methodology): a
+pluggable callback surface (:mod:`repro.ompt.hooks`), a thread-safe
+metrics registry and the standard metrics tool
+(:mod:`repro.ompt.metrics`), exporters for Chrome trace-event JSON,
+Prometheus text, and the structured JSON report
+(:mod:`repro.ompt.exporters`), environment-driven auto-instrumentation
+(:mod:`repro.ompt.auto`), and the ``python -m repro.profile`` CLI
+(:mod:`repro.ompt.cli`).
+
+Quickstart::
+
+    from repro.cruntime import cruntime
+    from repro.ompt import MetricsTool, chrome_trace, metrics_report
+
+    tool = MetricsTool()
+    cruntime.attach_tool(tool)
+    cruntime.tracer.start()
+    run_workload()
+    events = cruntime.tracer.stop()
+    cruntime.detach_tool(tool)
+    report = metrics_report(tool.registry, cruntime.stats.snapshot())
+    trace = chrome_trace(events, dropped=events.dropped)
+
+See docs/observability.md for the full walkthrough.
+"""
+
+from repro.ompt.exporters import (chrome_trace, chrome_trace_events,
+                                  metrics_report, prometheus_text,
+                                  validate_chrome_trace,
+                                  write_chrome_trace)
+from repro.ompt.hooks import CALLBACK_NAMES, ToolDispatcher, ToolHooks
+from repro.ompt.metrics import (Counter, Gauge, Histogram,
+                                MetricsRegistry, MetricsTool)
+
+__all__ = ["CALLBACK_NAMES", "Counter", "Gauge", "Histogram",
+           "MetricsRegistry", "MetricsTool", "ToolDispatcher",
+           "ToolHooks", "chrome_trace", "chrome_trace_events",
+           "metrics_report", "prometheus_text", "validate_chrome_trace",
+           "write_chrome_trace"]

@@ -1,0 +1,93 @@
+"""Environment-driven auto-instrumentation (``OMP4PY_TRACE`` /
+``OMP4PY_METRICS``).
+
+The ``@omp`` decorator asks this module to instrument the runtime it is
+about to bind.  Each knob is ``off`` (unset/false), ``on`` (a true
+string — collect in memory, artifacts retrievable via the API), or an
+output *path* — collect and write the artifact at interpreter exit
+(Chrome trace JSON for ``OMP4PY_TRACE``; Prometheus text, or the JSON
+report when the path ends in ``.json``, for ``OMP4PY_METRICS``).
+
+Instrumentation is idempotent per runtime instance and reversible with
+:func:`deactivate` (used by tests and the profile CLI, which manage
+their own tools).
+"""
+
+from __future__ import annotations
+
+import atexit
+import sys
+
+from repro import env
+
+#: id(runtime) → (runtime, attached MetricsTool | None) for every
+#: runtime this module instrumented (identity-keyed: runtimes are
+#: singletons that must not be kept alive through hashing semantics).
+_active: dict[int, tuple] = {}
+
+
+def auto_instrument(runtime) -> None:
+    """Honour the env knobs for ``runtime`` (no-op when both are off)."""
+    trace = env.trace_spec()
+    metrics = env.metrics_spec()
+    if trace is None and metrics is None:
+        return
+    if id(runtime) in _active:
+        return
+    tool = None
+    if trace is not None:
+        runtime.tracer.start()
+        if trace != "1":
+            atexit.register(_write_trace, runtime, trace)
+    if metrics is not None:
+        from repro.ompt.metrics import MetricsTool
+        tool = MetricsTool()
+        runtime.attach_tool(tool)
+        if metrics != "1":
+            atexit.register(_write_metrics, runtime, tool, metrics)
+    _active[id(runtime)] = (runtime, tool)
+
+
+def active_tool(runtime):
+    """The auto-attached MetricsTool for ``runtime``, if any."""
+    entry = _active.get(id(runtime))
+    return entry[1] if entry else None
+
+
+def deactivate(runtime) -> None:
+    """Undo :func:`auto_instrument` for one runtime."""
+    entry = _active.pop(id(runtime), None)
+    if entry is None:
+        return
+    _runtime, tool = entry
+    if tool is not None:
+        runtime.detach_tool(tool)
+    runtime.tracer.stop()
+
+
+def _write_trace(runtime, path: str) -> None:
+    from repro.ompt.exporters import write_chrome_trace
+    events = runtime.tracer.stop()
+    try:
+        write_chrome_trace(path, events, dropped=events.dropped,
+                           metadata={"runtime": runtime.name})
+    except OSError as error:  # pragma: no cover - exit-time best effort
+        print(f"omp4py: cannot write trace to {path}: {error}",
+              file=sys.stderr)
+
+
+def _write_metrics(runtime, tool, path: str) -> None:
+    from repro.ompt.exporters import metrics_report, prometheus_text
+    try:
+        if path.endswith(".json"):
+            import json
+            report = metrics_report(tool.registry,
+                                    runtime.stats.snapshot())
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2)
+        else:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(prometheus_text(tool.registry))
+    except OSError as error:  # pragma: no cover - exit-time best effort
+        print(f"omp4py: cannot write metrics to {path}: {error}",
+              file=sys.stderr)

@@ -1,0 +1,180 @@
+"""``python -m repro.profile`` — run an app under full instrumentation.
+
+Runs one registered benchmark app with the tracer and a metrics tool
+attached, then writes three artifacts into ``--out``:
+
+* ``<app>_<mode>_trace.json`` — Chrome trace-event JSON; open it in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+* ``<app>_<mode>_metrics.prom`` — Prometheus text exposition dump.
+* ``<app>_<mode>_metrics.json`` — the structured observability report
+  (per-thread chunks/iterations, barrier wait, task latencies, mutex
+  contention, per-region projection imbalance) plus the measurement.
+
+Usage::
+
+    python -m repro.profile pi --threads 4
+    python -m repro.profile qsort --mode pure --profile test --out prof
+    python -m repro.profile --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.analysis.timing import measure
+from repro.apps import get_app, list_apps
+from repro.decorator import runtime_for
+from repro.modes import Mode
+from repro.ompt.exporters import (chrome_trace, metrics_report,
+                                  prometheus_text, validate_chrome_trace)
+from repro.ompt.metrics import MetricsTool
+from repro.runtime.trace import TraceSummary
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.profile",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("app", nargs="?",
+                        help="registered app name (see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered apps and exit")
+    parser.add_argument("--mode", default="hybrid",
+                        help="execution mode (pure/hybrid/compiled/"
+                             "compileddt)")
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--profile", default="test",
+                        choices=("test", "default", "paper"),
+                        help="problem-size profile")
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--out", default="results/profile",
+                        help="artifact output directory")
+    parser.add_argument("--trace-capacity", type=int, default=None,
+                        help="override the tracer's event-buffer bound")
+    return parser
+
+
+def profile_app(app: str, mode: Mode, threads: int, profile: str,
+                repeats: int = 1, trace_capacity: int | None = None):
+    """Run ``app`` instrumented; return ``(measurement, report, trace,
+    prometheus)``.
+
+    ``report`` is the structured metrics JSON (with the measurement
+    merged in), ``trace`` the Chrome trace document, and ``prometheus``
+    the text exposition dump of the same registry.
+    """
+    spec = get_app(app)
+    variant = spec.variant(mode)
+    runtime = runtime_for(mode)
+    tool = MetricsTool()
+    tracer = runtime.tracer
+    old_capacity = tracer.capacity
+    if trace_capacity is not None:
+        tracer.capacity = trace_capacity
+    runtime.attach_tool(tool)
+    tracer.start()
+    try:
+        def make_args():
+            inputs = spec.inputs(profile, dt=(mode is Mode.COMPILED_DT))
+            inputs["threads"] = threads
+            return (), inputs
+
+        measurement = measure(variant, runtime=runtime, repeats=repeats,
+                              make_args=make_args)
+    finally:
+        events = tracer.stop()
+        tracer.capacity = old_capacity
+        runtime.detach_tool(tool)
+    summary = TraceSummary(events)
+    report = metrics_report(tool.registry, runtime.stats.snapshot(),
+                            trace_summary=summary)
+    report["run"] = {
+        "app": app, "mode": mode.value, "threads": threads,
+        "profile": profile, "repeats": repeats,
+        "wall_s": measurement.wall,
+        "projected_s": measurement.projected,
+        "serialized_cpu_s": measurement.serialized_cpu,
+        "critical_cpu_s": measurement.critical_cpu,
+        "regions": measurement.regions,
+    }
+    trace = chrome_trace(events, dropped=events.dropped,
+                         metadata={"app": app, "mode": mode.value,
+                                   "threads": threads})
+    return measurement, report, trace, prometheus_text(tool.registry)
+
+
+def _print_summary(report: dict, out=None) -> None:
+    out = out if out is not None else sys.stdout
+    run = report["run"]
+    print(f"[profile] {run['app']} ({run['mode']}, "
+          f"{run['threads']} threads): wall {run['wall_s']:.4f}s, "
+          f"projected {run['projected_s']:.4f}s", file=out)
+    chunks = report["per_thread"]["chunks"]
+    iterations = report["per_thread"]["iterations"]
+    if chunks:
+        print("[profile] chunks per thread:    "
+              + "  ".join(f"t{t}={n}" for t, n in chunks.items()),
+              file=out)
+    if iterations:
+        print("[profile] iterations per thread: "
+              + "  ".join(f"t{t}={n}" for t, n in iterations.items()),
+              file=out)
+    barrier = report["barrier_wait"]
+    if barrier["count"]:
+        print(f"[profile] barrier wait: {barrier['sum_s']:.4f}s total "
+              f"over {barrier['count']} waits", file=out)
+    latency = report["task_latency"]
+    if latency["count"]:
+        print(f"[profile] task latency: mean {latency['mean_s']:.6f}s, "
+              f"max {latency['max_s']:.6f}s over {latency['count']} "
+              f"tasks", file=out)
+    imbalance = report["imbalance"]
+    if imbalance["max"] is not None:
+        print(f"[profile] load imbalance (max_cpu/mean_cpu): "
+              f"worst {imbalance['max']:.2f}, "
+              f"mean {imbalance['mean']:.2f}", file=out)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        print("\n".join(list_apps()))
+        return 0
+    if not args.app:
+        build_parser().error("app name required (or --list)")
+    mode = Mode.parse(args.mode)
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    _measurement, report, trace, prometheus = profile_app(
+        args.app, mode, args.threads, args.profile,
+        repeats=args.repeats, trace_capacity=args.trace_capacity)
+
+    stem = f"{args.app}_{mode.value}"
+    trace_path = out_dir / f"{stem}_trace.json"
+    prom_path = out_dir / f"{stem}_metrics.prom"
+    json_path = out_dir / f"{stem}_metrics.json"
+    trace_path.write_text(json.dumps(trace), encoding="utf-8")
+    json_path.write_text(json.dumps(report, indent=2), encoding="utf-8")
+    prom_path.write_text(prometheus, encoding="utf-8")
+
+    dropped = trace["otherData"]["dropped_events"]
+    if dropped:
+        print(f"[profile] WARNING: trace truncated — {dropped} event(s) "
+              f"dropped; raise --trace-capacity for a complete trace",
+              file=sys.stderr)
+    problems = validate_chrome_trace(trace)
+    if problems:  # pragma: no cover - exporter guarantees schema
+        print(f"[profile] WARNING: trace schema problems: {problems[:3]}",
+              file=sys.stderr)
+    _print_summary(report)
+    print(f"[profile] artifacts: {trace_path}, {prom_path}, {json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""The OMPT-style tool-callback interface.
+
+Native OpenMP runtimes expose the OMPT tools interface (OpenMP 5.x
+chapter 4): a tool registers callbacks and the runtime invokes them at
+well-defined execution events.  This module is the reproduction's
+analogue.  A tool subclasses :class:`ToolHooks`, overrides the events it
+cares about, and attaches itself with ``runtime.attach_tool(tool)``.
+
+Dispatch discipline mirrors the tracer's: every instrumented site reads
+one attribute (``runtime.tool``) and branches on ``None``, so a runtime
+with no tool attached pays a single attribute read per event site.
+Multiple attached tools are fanned out through :class:`ToolDispatcher`.
+
+Callback catalogue (thread numbers are team-relative, as everywhere in
+the runtime):
+
+===================  =====================================================
+callback             fired when
+===================  =====================================================
+``parallel_begin``   the encountering thread forks a team
+``parallel_end``     the team joined (after the implicit barrier)
+``implicit_task``    a team member starts/ends its implicit task
+``work``             a worksharing unit is dispatched: one loop chunk,
+                     one claimed section, or the selected single
+``task_create``      an explicit task is submitted
+``task_schedule``    an explicit task starts executing
+``task_complete``    an explicit task finished (tasking layer)
+``sync_region``      barrier/taskwait enter and release; the release
+                     carries the measured wait time in seconds
+``mutex_acquire``    a mutex was *not* immediately available and the
+                     thread is about to block on it
+``mutex_acquired``   a mutex was obtained (wait time is 0.0 for
+                     uncontended acquisitions)
+``mutex_released``   a mutex was released
+===================  =====================================================
+"""
+
+from __future__ import annotations
+
+
+class ToolHooks:
+    """Base tool: every callback is a no-op.  Subclass and override.
+
+    Callbacks run inline on runtime threads, inside parallel regions:
+    implementations must be thread-safe, must not raise, and should be
+    cheap — a slow callback stalls the thread that fired it.
+    """
+
+    # -- parallel regions -------------------------------------------------
+
+    def parallel_begin(self, thread: int, team_size: int) -> None:
+        """The encountering thread is about to fork a team."""
+
+    def parallel_end(self, thread: int, team_size: int) -> None:
+        """The team joined and the region's results are visible."""
+
+    def implicit_task(self, thread: int, endpoint: str,
+                      team_size: int) -> None:
+        """A team member begins/ends its implicit task.
+
+        ``endpoint`` is ``"begin"`` or ``"end"``.
+        """
+
+    # -- worksharing ------------------------------------------------------
+
+    def work(self, thread: int, wstype: str, low: int, high: int) -> None:
+        """One worksharing unit was handed to ``thread``.
+
+        ``wstype`` is ``"loop"`` (``low``/``high`` bound the dispatched
+        chunk), ``"sections"`` (``low`` is the claimed section index,
+        ``high == low + 1``) or ``"single"`` (``(0, 1)``).
+        """
+
+    # -- tasking ----------------------------------------------------------
+
+    def task_create(self, thread: int, task_id: int) -> None:
+        """An explicit task was submitted by ``thread``."""
+
+    def task_schedule(self, thread: int, task_id: int) -> None:
+        """An explicit task begins execution on ``thread``."""
+
+    def task_complete(self, thread: int, task_id: int) -> None:
+        """An explicit task finished on ``thread``."""
+
+    # -- synchronization --------------------------------------------------
+
+    def sync_region(self, thread: int, kind: str, endpoint: str,
+                    wait_time: float | None) -> None:
+        """Barrier or taskwait boundary.
+
+        ``kind`` is ``"barrier"`` or ``"taskwait"``; ``endpoint`` is
+        ``"enter"`` (``wait_time is None``) or ``"release"``
+        (``wait_time`` is the seconds spent inside, including any tasks
+        executed while waiting).
+        """
+
+    def mutex_acquire(self, thread: int, kind: str, handle) -> None:
+        """``thread`` is about to block on a contended mutex.
+
+        ``kind`` is ``"critical"``, ``"atomic"``, ``"lock"`` or
+        ``"nest_lock"``; ``handle`` identifies the mutex instance (the
+        critical section name or the lock object's id).
+        """
+
+    def mutex_acquired(self, thread: int, kind: str, handle,
+                       wait_time: float) -> None:
+        """``thread`` obtained the mutex after ``wait_time`` seconds
+        (0.0 when the acquisition was uncontended)."""
+
+    def mutex_released(self, thread: int, kind: str, handle) -> None:
+        """``thread`` released the mutex."""
+
+
+#: Every dispatchable callback name, in catalogue order.
+CALLBACK_NAMES = ("parallel_begin", "parallel_end", "implicit_task",
+                  "work", "task_create", "task_schedule", "task_complete",
+                  "sync_region", "mutex_acquire", "mutex_acquired",
+                  "mutex_released")
+
+
+class ToolDispatcher(ToolHooks):
+    """Fans every callback out to a tuple of attached tools.
+
+    Built by :meth:`repro.runtime.engine.OmpRuntime.attach_tool` when
+    more than one tool is attached; a single tool is bound directly so
+    the common case has no indirection.
+    """
+
+    def __init__(self, tools):
+        self.tools = tuple(tools)
+
+    def parallel_begin(self, thread, team_size):
+        for tool in self.tools:
+            tool.parallel_begin(thread, team_size)
+
+    def parallel_end(self, thread, team_size):
+        for tool in self.tools:
+            tool.parallel_end(thread, team_size)
+
+    def implicit_task(self, thread, endpoint, team_size):
+        for tool in self.tools:
+            tool.implicit_task(thread, endpoint, team_size)
+
+    def work(self, thread, wstype, low, high):
+        for tool in self.tools:
+            tool.work(thread, wstype, low, high)
+
+    def task_create(self, thread, task_id):
+        for tool in self.tools:
+            tool.task_create(thread, task_id)
+
+    def task_schedule(self, thread, task_id):
+        for tool in self.tools:
+            tool.task_schedule(thread, task_id)
+
+    def task_complete(self, thread, task_id):
+        for tool in self.tools:
+            tool.task_complete(thread, task_id)
+
+    def sync_region(self, thread, kind, endpoint, wait_time):
+        for tool in self.tools:
+            tool.sync_region(thread, kind, endpoint, wait_time)
+
+    def mutex_acquire(self, thread, kind, handle):
+        for tool in self.tools:
+            tool.mutex_acquire(thread, kind, handle)
+
+    def mutex_acquired(self, thread, kind, handle, wait_time):
+        for tool in self.tools:
+            tool.mutex_acquired(thread, kind, handle, wait_time)
+
+    def mutex_released(self, thread, kind, handle):
+        for tool in self.tools:
+            tool.mutex_released(thread, kind, handle)

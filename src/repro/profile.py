@@ -1,0 +1,14 @@
+"""``python -m repro.profile`` — alias for :mod:`repro.ompt.cli`.
+
+Kept as a top-level module so the profiling entry point reads naturally
+next to ``python -m repro.lint`` and ``python -m repro.analysis.report``.
+"""
+
+import sys
+
+from repro.ompt.cli import build_parser, main, profile_app
+
+__all__ = ["build_parser", "main", "profile_app"]
+
+if __name__ == "__main__":
+    sys.exit(main())

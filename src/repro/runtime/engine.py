@@ -70,6 +70,41 @@ class OmpRuntime:
         self.stats = StatsCollector()
         #: Event tracer (off by default; see :mod:`repro.runtime.trace`).
         self.tracer = Tracer()
+        #: OMPT-style tool dispatch target: ``None`` when no tool is
+        #: attached, a single tool, or a
+        #: :class:`~repro.ompt.hooks.ToolDispatcher`.  Instrumented
+        #: sites read this one attribute and branch on ``None`` — the
+        #: same disabled-cost discipline as the tracer.
+        self.tool = None
+        self._tools: list = []
+
+    # ------------------------------------------------------------------
+    # Tool interface (see :mod:`repro.ompt`)
+
+    def attach_tool(self, tool) -> None:
+        """Attach an OMPT-style tool (idempotent per instance).
+
+        Attach/detach are not synchronization points: call them outside
+        parallel regions, as OMPT requires of ``ompt_start_tool``.
+        """
+        if any(existing is tool for existing in self._tools):
+            return
+        self._tools.append(tool)
+        self._rebind_tool()
+
+    def detach_tool(self, tool) -> None:
+        """Detach a previously attached tool (no-op when absent)."""
+        self._tools = [t for t in self._tools if t is not tool]
+        self._rebind_tool()
+
+    def _rebind_tool(self) -> None:
+        if not self._tools:
+            self.tool = None
+        elif len(self._tools) == 1:
+            self.tool = self._tools[0]
+        else:
+            from repro.ompt.hooks import ToolDispatcher
+            self.tool = ToolDispatcher(self._tools)
 
     # ------------------------------------------------------------------
     # Contexts
@@ -105,6 +140,9 @@ class OmpRuntime:
         team = Team(self, frame, size)
         if self.tracer.enabled:
             self.tracer.record("region_fork", frame.thread_num, size)
+        tool = self.tool
+        if tool is not None:
+            tool.parallel_begin(frame.thread_num, size)
         copyin_values = [(key, self._tp_dict().get(key, _TP_MISSING))
                          for key in copyin]
 
@@ -112,6 +150,8 @@ class OmpRuntime:
             stack = self._stack()
             stack.append(TaskFrame(team, index, frame, "implicit",
                                    frame.nthreads_var))
+            if tool is not None:
+                tool.implicit_task(index, "begin", size)
             begin = time.thread_time()
             try:
                 for key, value in copyin_values:
@@ -126,6 +166,8 @@ class OmpRuntime:
                 except BaseException as error:  # noqa: BLE001
                     team.record_error(index, error)
                 team.cpu_times[index] = time.thread_time() - begin
+                if tool is not None:
+                    tool.implicit_task(index, "end", size)
                 stack.pop()
 
         workers = [threading.Thread(target=member, args=(index,),
@@ -138,6 +180,8 @@ class OmpRuntime:
             worker.join()
         if self.tracer.enabled:
             self.tracer.record("region_join", frame.thread_num, size)
+        if tool is not None:
+            tool.parallel_end(frame.thread_num, size)
         if team.level == 1:
             self.stats.record(team.cpu_times)
         if team.errors:
@@ -173,9 +217,14 @@ class OmpRuntime:
 
     def for_next(self, bounds) -> bool:
         more = worksharing.next_chunk(bounds)
-        if more and self.tracer.enabled:
-            self.tracer.record("chunk", bounds[2].thread_num,
-                               bounds[0], bounds[1])
+        if more:
+            if self.tracer.enabled:
+                self.tracer.record("chunk", bounds[2].thread_num,
+                                   bounds[0], bounds[1])
+            tool = self.tool
+            if tool is not None:
+                tool.work(bounds[2].thread_num, "loop",
+                          bounds[0], bounds[1])
         return more
 
     def for_last(self, bounds) -> bool:
@@ -262,17 +311,52 @@ class OmpRuntime:
         frame = self.current_frame()
         if frame.kind == "task":
             raise OmpRuntimeError("barrier inside an explicit task")
-        if self.tracer.enabled:
+        tool = self.tool
+        tracing = self.tracer.enabled
+        if tracing:
             self.tracer.record("barrier_enter", frame.thread_num)
+        if tool is not None:
+            tool.sync_region(frame.thread_num, "barrier", "enter", None)
+        begin = time.perf_counter() if (tracing or tool is not None) \
+            else 0.0
         frame.team.barrier.wait(self._execute_task_node)
-        if self.tracer.enabled:
-            self.tracer.record("barrier_release", frame.thread_num)
+        if tracing or tool is not None:
+            wait = time.perf_counter() - begin
+            if tracing:
+                self.tracer.record("barrier_release", frame.thread_num,
+                                   wait)
+            if tool is not None:
+                tool.sync_region(frame.thread_num, "barrier", "release",
+                                 wait)
 
     def critical_enter(self, name: str = "") -> None:
-        self._critical_lock(name).acquire()
+        lock = self._critical_lock(name)
+        tool = self.tool
+        if tool is None:
+            lock.acquire()
+        else:
+            self._acquire_instrumented(lock, tool, "critical", name)
 
     def critical_exit(self, name: str = "") -> None:
         self._critical_lock(name).release()
+        tool = self.tool
+        if tool is not None:
+            tool.mutex_released(self.get_thread_num(), "critical", name)
+
+    def _acquire_instrumented(self, lock, tool, kind: str,
+                              handle) -> None:
+        """Acquire ``lock`` dispatching mutex hooks; the contended path
+        (``mutex_acquire`` + timed wait) only fires when a non-blocking
+        attempt fails."""
+        thread = self.get_thread_num()
+        if lock.acquire(blocking=False):
+            tool.mutex_acquired(thread, kind, handle, 0.0)
+            return
+        tool.mutex_acquire(thread, kind, handle)
+        begin = time.perf_counter()
+        lock.acquire()
+        tool.mutex_acquired(thread, kind, handle,
+                            time.perf_counter() - begin)
 
     def _critical_lock(self, name: str):
         lock = self._criticals.get(name)
@@ -283,10 +367,18 @@ class OmpRuntime:
         return lock
 
     def atomic_enter(self) -> None:
-        self._atomic_mutex.acquire()
+        tool = self.tool
+        if tool is None:
+            self._atomic_mutex.acquire()
+        else:
+            self._acquire_instrumented(self._atomic_mutex, tool,
+                                       "atomic", "atomic")
 
     def atomic_exit(self) -> None:
         self._atomic_mutex.release()
+        tool = self.tool
+        if tool is not None:
+            tool.mutex_released(self.get_thread_num(), "atomic", "atomic")
 
     def mutex_lock(self) -> None:
         """Team mutex used by generated reduction epilogues."""
@@ -317,6 +409,9 @@ class OmpRuntime:
         node = TaskNode(fn, team, self.lowlevel)
         if self.tracer.enabled:
             self.tracer.record("task_submit", frame.thread_num, id(node))
+        tool = self.tool
+        if tool is not None:
+            tool.task_create(frame.thread_num, id(node))
         predecessors = self._resolve_dependences(frame, node, depends_in,
                                                  depends_out)
         if not if_:
@@ -388,6 +483,10 @@ class OmpRuntime:
     def task_wait(self) -> None:
         """Complete all direct children of the current task."""
         frame = self.current_frame()
+        tool = self.tool
+        if tool is not None:
+            tool.sync_region(frame.thread_num, "taskwait", "enter", None)
+            begin = time.perf_counter()
         while not frame.team.broken:
             incomplete = [c for c in frame.children if not c.done]
             if not incomplete:
@@ -399,6 +498,9 @@ class OmpRuntime:
                     progressed = True
             if not progressed:
                 incomplete[0].event.wait(timeout=0.005)
+        if tool is not None:
+            tool.sync_region(frame.thread_num, "taskwait", "release",
+                             time.perf_counter() - begin)
         frame.children.clear()
 
     def _execute_task_node(self, node: TaskNode) -> None:
@@ -408,6 +510,9 @@ class OmpRuntime:
                                frame.nthreads_var))
         if self.tracer.enabled:
             self.tracer.record("task_start", frame.thread_num, id(node))
+        tool = self.tool
+        if tool is not None:
+            tool.task_schedule(frame.thread_num, id(node))
         try:
             node.fn()
         except BaseException as error:  # noqa: BLE001 - raised at join
@@ -573,10 +678,10 @@ class OmpRuntime:
     # Lock API -----------------------------------------------------------
 
     def init_lock(self) -> OmpLock:
-        return OmpLock(self.lowlevel)
+        return OmpLock(self.lowlevel, runtime=self)
 
     def init_nest_lock(self) -> OmpNestLock:
-        return OmpNestLock(self.lowlevel)
+        return OmpNestLock(self.lowlevel, runtime=self)
 
     @staticmethod
     def destroy_lock(lock) -> None:

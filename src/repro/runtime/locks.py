@@ -4,23 +4,34 @@
 of the lock API operates on them.  A nestable lock may be re-acquired by
 its owner; ``omp_test_nest_lock`` returns the new nesting count, per the
 OpenMP specification.
+
+Locks created through a runtime dispatch the OMPT-style
+``mutex_acquire``/``mutex_acquired``/``mutex_released`` callbacks when
+a tool is attached (see :mod:`repro.ompt.hooks`); the uninstrumented
+path reads a single attribute.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.errors import OmpRuntimeError
+
+
+def _tool_of(runtime):
+    return runtime.tool if runtime is not None else None
 
 
 class OmpLock:
     """A simple OpenMP lock."""
 
-    __slots__ = ("_lock", "_destroyed")
+    __slots__ = ("_lock", "_destroyed", "_runtime")
 
-    def __init__(self, lowlevel):
+    def __init__(self, lowlevel, runtime=None):
         self._lock = lowlevel.make_mutex()
         self._destroyed = False
+        self._runtime = runtime
 
     def _check(self) -> None:
         if self._destroyed:
@@ -28,15 +39,37 @@ class OmpLock:
 
     def set(self) -> None:
         self._check()
+        tool = _tool_of(self._runtime)
+        if tool is None:
+            self._lock.acquire()
+            return
+        thread = self._runtime.get_thread_num()
+        if self._lock.acquire(blocking=False):
+            tool.mutex_acquired(thread, "lock", id(self), 0.0)
+            return
+        tool.mutex_acquire(thread, "lock", id(self))
+        begin = time.perf_counter()
         self._lock.acquire()
+        tool.mutex_acquired(thread, "lock", id(self),
+                            time.perf_counter() - begin)
 
     def unset(self) -> None:
         self._check()
         self._lock.release()
+        tool = _tool_of(self._runtime)
+        if tool is not None:
+            tool.mutex_released(self._runtime.get_thread_num(), "lock",
+                                id(self))
 
     def test(self) -> bool:
         self._check()
-        return self._lock.acquire(blocking=False)
+        acquired = self._lock.acquire(blocking=False)
+        if acquired:
+            tool = _tool_of(self._runtime)
+            if tool is not None:
+                tool.mutex_acquired(self._runtime.get_thread_num(),
+                                    "lock", id(self), 0.0)
+        return acquired
 
     def destroy(self) -> None:
         self._destroyed = True
@@ -45,18 +78,26 @@ class OmpLock:
 class OmpNestLock:
     """A nestable OpenMP lock (owner may re-acquire)."""
 
-    __slots__ = ("_lock", "_owner", "_count", "_destroyed", "_guard")
+    __slots__ = ("_lock", "_owner", "_count", "_destroyed", "_guard",
+                 "_runtime")
 
-    def __init__(self, lowlevel):
+    def __init__(self, lowlevel, runtime=None):
         self._lock = lowlevel.make_mutex()
         self._guard = threading.Lock()
         self._owner = None
         self._count = 0
         self._destroyed = False
+        self._runtime = runtime
 
     def _check(self) -> None:
         if self._destroyed:
             raise OmpRuntimeError("lock used after omp_destroy_nest_lock")
+
+    def _dispatch_acquired(self, wait_time: float) -> None:
+        tool = _tool_of(self._runtime)
+        if tool is not None:
+            tool.mutex_acquired(self._runtime.get_thread_num(),
+                                "nest_lock", id(self), wait_time)
 
     def set(self) -> None:
         self._check()
@@ -64,8 +105,19 @@ class OmpNestLock:
         with self._guard:
             if self._owner == me:
                 self._count += 1
+                self._dispatch_acquired(0.0)
                 return
-        self._lock.acquire()
+        tool = _tool_of(self._runtime)
+        if tool is None:
+            self._lock.acquire()
+        elif not self._lock.acquire(blocking=False):
+            tool.mutex_acquire(self._runtime.get_thread_num(),
+                               "nest_lock", id(self))
+            begin = time.perf_counter()
+            self._lock.acquire()
+            self._dispatch_acquired(time.perf_counter() - begin)
+        else:
+            self._dispatch_acquired(0.0)
         with self._guard:
             self._owner = me
             self._count = 1
@@ -81,6 +133,10 @@ class OmpNestLock:
             if self._count == 0:
                 self._owner = None
                 self._lock.release()
+                tool = _tool_of(self._runtime)
+                if tool is not None:
+                    tool.mutex_released(self._runtime.get_thread_num(),
+                                        "nest_lock", id(self))
 
     def test(self) -> int:
         """Acquire if possible; return the new nesting count, else 0."""
@@ -89,11 +145,13 @@ class OmpNestLock:
         with self._guard:
             if self._owner == me:
                 self._count += 1
+                self._dispatch_acquired(0.0)
                 return self._count
         if self._lock.acquire(blocking=False):
             with self._guard:
                 self._owner = me
                 self._count = 1
+            self._dispatch_acquired(0.0)
             return 1
         return 0
 

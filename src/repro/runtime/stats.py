@@ -40,6 +40,25 @@ class RegionRecord:
     def max_cpu(self) -> float:
         return max(self.cpu_times) if self.cpu_times else 0.0
 
+    @property
+    def mean_cpu(self) -> float:
+        if not self.cpu_times:
+            return 0.0
+        return self.sum_cpu / len(self.cpu_times)
+
+    @property
+    def imbalance(self) -> float:
+        """Load imbalance: max over mean per-thread CPU time.
+
+        1.0 means perfectly balanced; a region where nobody burned
+        CPU (mean == 0) also reports 1.0, since there is no work to
+        be imbalanced about.
+        """
+        mean = self.mean_cpu
+        if mean <= 0.0:
+            return 1.0
+        return self.max_cpu / mean
+
 
 class StatsCollector:
     """Accumulates region records between ``reset`` and ``snapshot``."""

@@ -61,6 +61,12 @@ class TaskNode:
             self.successors.clear()
         self.state.store(DONE)
         self.event.set()
+        team = self.team
+        if team is not None:  # the queue sentinel has no team
+            tool = team.runtime.tool
+            if tool is not None:
+                tool.task_complete(team.runtime.get_thread_num(),
+                                   id(self))
         return ready
 
     @property

@@ -25,13 +25,31 @@ class TraceEvent:
 
     ``kind`` is one of: ``region_fork``, ``region_join``,
     ``chunk``, ``task_submit``, ``task_start``, ``task_finish``,
-    ``barrier_enter``, ``barrier_release``.
+    ``barrier_enter``, ``barrier_release`` (whose detail carries the
+    measured wait time in seconds).
     """
 
     timestamp: float
     kind: str
     thread: int
     detail: tuple
+
+
+class TraceLog(list):
+    """An event list that knows how many events were dropped.
+
+    ``Tracer.stop()``/``events()`` return this so overflow is never
+    silently swallowed: consumers that treat the result as a plain list
+    keep working, and consumers that care (``TraceSummary``, the
+    Chrome exporter, the profile CLI's truncation warning) read
+    ``.dropped``.
+    """
+
+    __slots__ = ("dropped",)
+
+    def __init__(self, events=(), dropped: int = 0):
+        super().__init__(events)
+        self.dropped = dropped
 
 
 class Tracer:
@@ -52,14 +70,14 @@ class Tracer:
             self.dropped = 0
             self.enabled = True
 
-    def stop(self) -> list[TraceEvent]:
+    def stop(self) -> TraceLog:
         with self._lock:
             self.enabled = False
-            return list(self._events)
+            return TraceLog(self._events, self.dropped)
 
-    def events(self) -> list[TraceEvent]:
+    def events(self) -> TraceLog:
         with self._lock:
-            return list(self._events)
+            return TraceLog(self._events, self.dropped)
 
     # -- recording -------------------------------------------------------
 
@@ -78,8 +96,13 @@ class Tracer:
 class TraceSummary:
     """Aggregations over a recorded event list."""
 
-    def __init__(self, events: list[TraceEvent]):
+    def __init__(self, events: list[TraceEvent],
+                 dropped: int | None = None):
         self.events = events
+        if dropped is None:
+            dropped = getattr(events, "dropped", 0)
+        #: Events the tracer discarded because the buffer was full.
+        self.dropped = dropped
 
     def count(self, kind: str) -> int:
         return sum(1 for event in self.events if event.kind == kind)
@@ -107,7 +130,12 @@ class TraceSummary:
         return dict(counts)
 
     def task_latencies(self) -> list[float]:
-        """Submit-to-start latency per task id."""
+        """Submit-to-start latency per task that actually started.
+
+        Tasks that were submitted but never started (e.g. the trace was
+        stopped mid-region) are excluded; count them with
+        :meth:`unstarted_task_count`.
+        """
         submitted: dict[int, float] = {}
         latencies: list[float] = []
         for event in self.events:
@@ -118,6 +146,43 @@ class TraceSummary:
                 if start is not None:
                     latencies.append(event.timestamp - start)
         return latencies
+
+    def task_durations(self) -> list[float]:
+        """Submit-to-finish duration per task that completed."""
+        submitted: dict[int, float] = {}
+        durations: list[float] = []
+        for event in self.events:
+            if event.kind == "task_submit":
+                submitted[event.detail[0]] = event.timestamp
+            elif event.kind == "task_finish":
+                start = submitted.pop(event.detail[0], None)
+                if start is not None:
+                    durations.append(event.timestamp - start)
+        return durations
+
+    def unstarted_task_count(self) -> int:
+        """Tasks submitted but never started within the trace."""
+        pending: set[int] = set()
+        for event in self.events:
+            if event.kind == "task_submit":
+                pending.add(event.detail[0])
+            elif event.kind == "task_start":
+                pending.discard(event.detail[0])
+        return len(pending)
+
+    def barrier_waits(self) -> dict[int, float]:
+        """Total measured barrier wait time per thread, in seconds.
+
+        Only ``barrier_release`` events carrying a wait-time detail
+        contribute (older traces without the detail count as zero).
+        """
+        waits: defaultdict[int, float] = defaultdict(float)
+        for event in self.events:
+            if event.kind == "barrier_release" and event.detail:
+                wait = event.detail[0]
+                if isinstance(wait, (int, float)):
+                    waits[event.thread] += wait
+        return dict(waits)
 
     def timeline(self, width: int = 60) -> str:
         """ASCII chunk timeline, one row per thread."""

@@ -261,12 +261,22 @@ def sections_next(state: SectionsState) -> int:
         return -1
     if section == state.count - 1:
         state.executed_last = True
+    team = state.team
+    if team is not None:
+        tool = team.runtime.tool
+        if tool is not None:
+            tool.work(team.runtime.get_thread_num(), "sections",
+                      section, section + 1)
     return section
 
 
 def single_begin(runtime) -> SectionsState:
     state = sections_begin(runtime, 1)
     state.selected = state.slot.counter.fetch_add(1) == 0
+    if state.selected:
+        tool = runtime.tool
+        if tool is not None:
+            tool.work(runtime.get_thread_num(), "single", 0, 1)
     return state
 
 

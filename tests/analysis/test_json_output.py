@@ -14,13 +14,23 @@ class TestPointsToJson:
     def test_measurement_rows(self):
         measurement = Measurement(wall=1.5, projected=0.5,
                                   serialized_cpu=1.2, critical_cpu=0.4,
-                                  regions=2)
+                                  regions=2, imbalance=1.25)
         point = SweepPoint(app="pi", series="hybrid", threads=4,
                            measurement=measurement, verified=True)
         [row] = points_to_json([point])
         assert row == {"app": "pi", "series": "hybrid", "threads": 4,
                        "wall_s": 1.5, "projected_s": 0.5,
+                       "serialized_cpu_s": 1.2, "critical_cpu_s": 0.4,
+                       "regions": 2, "imbalance": 1.25,
                        "verified": True, "error": None}
+
+    def test_error_rows_have_observability_fields(self):
+        point = SweepPoint(app="bfs", series="pyomp", threads=2,
+                           measurement=None, verified=None,
+                           error="PyOMPInternalError: ...")
+        [row] = points_to_json([point])
+        assert row["serialized_cpu_s"] is None
+        assert row["imbalance"] is None
 
     def test_error_rows(self):
         point = SweepPoint(app="bfs", series="pyomp", threads=2,

@@ -18,6 +18,21 @@ class TestRegionRecord:
         record = RegionRecord(0, [])
         assert record.sum_cpu == 0.0
         assert record.max_cpu == 0.0
+        assert record.mean_cpu == 0.0
+        assert record.imbalance == 1.0
+
+    def test_imbalance_is_max_over_mean(self):
+        record = RegionRecord(4, [1.0, 1.0, 1.0, 5.0])
+        assert record.mean_cpu == pytest.approx(2.0)
+        assert record.imbalance == pytest.approx(2.5)
+
+    def test_balanced_region_has_unit_imbalance(self):
+        record = RegionRecord(3, [2.0, 2.0, 2.0])
+        assert record.imbalance == pytest.approx(1.0)
+
+    def test_zero_cpu_region_reports_balanced(self):
+        record = RegionRecord(2, [0.0, 0.0])
+        assert record.imbalance == 1.0
 
 
 class TestStatsCollector:

@@ -5,7 +5,8 @@ import pytest
 from repro import Mode, transform
 from repro.cruntime import cruntime
 from repro.runtime import pure_runtime
-from repro.runtime.trace import TraceEvent, Tracer, TraceSummary
+from repro.runtime.trace import (TraceEvent, TraceLog, Tracer,
+                                 TraceSummary)
 
 
 @pytest.fixture(params=["pure", "cruntime"])
@@ -51,6 +52,55 @@ class TestTracerBasics:
             tracer.record("chunk", 0, 0, 1)
         stamps = [event.timestamp for event in tracer.events()]
         assert stamps == sorted(stamps)
+
+    def test_stop_surfaces_dropped_count(self):
+        tracer = Tracer(capacity=2)
+        tracer.start()
+        for index in range(5):
+            tracer.record("chunk", 0, index, index + 1)
+        events = tracer.stop()
+        assert isinstance(events, TraceLog)
+        assert events.dropped == 3
+        assert len(events) == 2
+
+    def test_log_is_a_plain_list_to_consumers(self):
+        log = TraceLog([TraceEvent(0.0, "chunk", 0, (0, 1))], dropped=4)
+        assert log == [TraceEvent(0.0, "chunk", 0, (0, 1))]
+        assert list(log) == list(log[:])
+        assert log.dropped == 4
+
+    def test_start_resets_dropped(self):
+        tracer = Tracer(capacity=1)
+        tracer.start()
+        tracer.record("chunk", 0, 0, 1)
+        tracer.record("chunk", 0, 1, 2)
+        assert tracer.stop().dropped == 1
+        tracer.start()
+        assert tracer.events().dropped == 0
+
+    def test_concurrent_record_and_stop(self):
+        import threading as _threading
+        tracer = Tracer(capacity=10_000)
+        tracer.start()
+        stop_flag = []
+
+        def hammer():
+            while not stop_flag:
+                tracer.record("chunk", 0, 0, 1)
+
+        workers = [_threading.Thread(target=hammer) for _ in range(3)]
+        for worker in workers:
+            worker.start()
+        events = tracer.stop()
+        stop_flag.append(True)
+        for worker in workers:
+            worker.join()
+        # The snapshot is a consistent copy; later records don't mutate
+        # it and recording after stop() is a no-op.
+        size = len(events)
+        tracer.record("chunk", 0, 0, 1)
+        assert len(events) == size
+        assert len(tracer.events()) <= 10_000
 
 
 class TestRuntimeIntegration:
@@ -127,6 +177,49 @@ class TestRuntimeIntegration:
         summary = TraceSummary(cruntime.tracer.stop())
         assert summary.count("region_fork") == 1
         assert summary.count("chunk") >= 2
+
+
+class TestSummaryTaskAccounting:
+    def test_latencies_exclude_never_started_tasks(self):
+        events = [TraceEvent(1.0, "task_submit", 0, (11,)),
+                  TraceEvent(2.0, "task_submit", 0, (22,)),
+                  TraceEvent(3.0, "task_start", 1, (11,))]
+        summary = TraceSummary(events)
+        assert summary.task_latencies() == [pytest.approx(2.0)]
+        assert summary.unstarted_task_count() == 1
+
+    def test_durations_are_submit_to_finish(self):
+        events = [TraceEvent(1.0, "task_submit", 0, (7,)),
+                  TraceEvent(1.5, "task_start", 1, (7,)),
+                  TraceEvent(4.0, "task_finish", 1, (7,)),
+                  TraceEvent(5.0, "task_submit", 0, (8,))]
+        summary = TraceSummary(events)
+        assert summary.task_durations() == [pytest.approx(3.0)]
+
+    def test_finish_without_submit_is_ignored(self):
+        events = [TraceEvent(1.0, "task_finish", 0, (99,))]
+        assert TraceSummary(events).task_durations() == []
+
+    def test_empty_summary(self):
+        summary = TraceSummary([])
+        assert summary.task_latencies() == []
+        assert summary.task_durations() == []
+        assert summary.unstarted_task_count() == 0
+        assert summary.barrier_waits() == {}
+        assert summary.dropped == 0
+
+    def test_dropped_flows_from_trace_log(self):
+        log = TraceLog([], dropped=17)
+        assert TraceSummary(log).dropped == 17
+        assert TraceSummary(log, dropped=3).dropped == 3
+
+    def test_barrier_waits_sum_per_thread(self):
+        events = [TraceEvent(1.0, "barrier_release", 0, (0.25,)),
+                  TraceEvent(2.0, "barrier_release", 0, (0.5,)),
+                  TraceEvent(2.0, "barrier_release", 1, (0.125,)),
+                  TraceEvent(3.0, "barrier_release", 2, ())]
+        waits = TraceSummary(events).barrier_waits()
+        assert waits == {0: pytest.approx(0.75), 1: pytest.approx(0.125)}
 
 
 class TestSummaryRendering:
