@@ -3,7 +3,8 @@
 1. Dynamic-schedule shared counter: mutex (runtime) vs atomic
    ``fetch_add`` (cruntime) — the paper's stated reason Hybrid beats
    Pure on jacobi/qsort/bfs.
-2. Task-queue enqueue: mutex append vs ``compare_exchange`` linking.
+2. Task-deque push/steal: mutex-serialised deque vs the Chase-Lev
+   owner/thief protocol.
 3. Task throughput through the barrier drain (pure vs native runtimes
    end-to-end).
 4. Chunked NumPy kernels vs one whole-loop kernel (CompiledDT cache
@@ -18,7 +19,7 @@ from repro.cruntime import cruntime
 from repro.decorator import transform
 from repro.modes import Mode
 from repro.runtime import pure_runtime
-from repro.runtime.tasking import TaskNode, TaskQueue
+from repro.runtime.tasking import TaskNode, WorkStealingScheduler
 
 RUNTIMES = {"mutex(runtime)": pure_runtime,
             "atomic(cruntime)": cruntime}
@@ -57,7 +58,7 @@ def test_ablation_dynamic_schedule_end_to_end(benchmark, label):
     benchmark.pedantic(run, rounds=3)
 
 
-# -- 2. task enqueue ------------------------------------------------------
+# -- 2. task deque push/claim ---------------------------------------------
 
 @pytest.mark.parametrize("label", RUNTIMES)
 def test_ablation_task_enqueue(benchmark, label):
@@ -65,11 +66,28 @@ def test_ablation_task_enqueue(benchmark, label):
     lowlevel = RUNTIMES[label].lowlevel
 
     def enqueue():
-        queue = TaskQueue(lowlevel)
+        scheduler = WorkStealingScheduler(lowlevel, 4)
         for _ in range(2000):
-            queue.append(TaskNode(None, None, lowlevel))
+            scheduler.push(0, TaskNode(None, None, lowlevel))
 
     benchmark(enqueue)
+
+
+@pytest.mark.parametrize("label", RUNTIMES)
+def test_ablation_task_steal(benchmark, label):
+    """Cross-thread claim cost: every claim misses the local deque and
+    steals from the victim (mutex deque vs Chase-Lev CAS)."""
+    benchmark.group = "ablation:steal"
+    lowlevel = RUNTIMES[label].lowlevel
+
+    def steal_all():
+        scheduler = WorkStealingScheduler(lowlevel, 4)
+        for _ in range(2000):
+            scheduler.push(0, TaskNode(None, None, lowlevel))
+        while scheduler.claim(1) is not None:
+            pass
+
+    benchmark(steal_all)
 
 
 # -- 3. tasking end-to-end -------------------------------------------------

@@ -41,6 +41,76 @@ def run_command(out_dir: pathlib.Path, name: str, argv: list[str]) -> None:
           f"{out_dir / f'{name}.txt'}\n")
 
 
+def run_task_bench(out_dir: pathlib.Path, threads: int = 4,
+                   profile: str = "test") -> list[str]:
+    """Task-scheduler microbenchmark: qsort and bfs under the metrics
+    tool.
+
+    The paper's two task-parallel apps drive the work-stealing deques
+    hardest, so this records their wall time plus the scheduler's
+    steal/local-hit attribution, and returns a failure for any
+    task-count violation: a wrong result, tasks created but never
+    executed (or vice versa), executions not attributed as exactly one
+    local hit or steal, or tasks that never completed.
+    """
+    from repro.apps.base import get_app
+    from repro.modes import Mode
+    from repro.ompt.metrics import MetricsTool
+    from repro.runtime import pure_runtime
+
+    failures: list[str] = []
+    lines: list[str] = []
+    for name in ("qsort", "bfs"):
+        spec = get_app(name)
+        reference = spec.sequential(**spec.inputs(profile))
+        inputs = spec.inputs(profile)  # fresh: qsort sorts in place
+        variant = spec.variant(Mode.PURE)
+        tool = MetricsTool()
+        pure_runtime.attach_tool(tool)
+        try:
+            begin = time.perf_counter()
+            result = variant(threads=threads, **inputs)
+            elapsed = time.perf_counter() - begin
+        finally:
+            pure_runtime.detach_tool(tool)
+        data = tool.registry.as_dict()
+
+        def counter_total(metric: str, data=data) -> float:
+            family = data.get(metric)
+            if family is None:
+                return 0
+            return sum(s["value"] for s in family["samples"])
+
+        created = counter_total("omp_tasks_created_total")
+        executed = counter_total("omp_tasks_executed_total")
+        steals = counter_total("omp_task_steals_total")
+        local = counter_total("omp_task_local_hits_total")
+        incomplete = len(tool._tasks)
+        line = (f"{name}: {elapsed:.3f}s at {threads} threads | tasks "
+                f"created={created:.0f} executed={executed:.0f} "
+                f"local={local:.0f} steals={steals:.0f} "
+                f"incomplete={incomplete}")
+        lines.append(line)
+        print(f"[reproduce] task-bench {line}")
+        if not spec.verify(result, reference):
+            failures.append(f"task-bench {name}: wrong result")
+        if created != executed:
+            failures.append(
+                f"task-bench {name}: task-count mismatch "
+                f"(created={created:.0f}, executed={executed:.0f})")
+        if local + steals != executed:
+            failures.append(
+                f"task-bench {name}: steal attribution mismatch "
+                f"(local={local:.0f} + steals={steals:.0f} != "
+                f"executed={executed:.0f})")
+        if incomplete:
+            failures.append(
+                f"task-bench {name}: {incomplete} tasks never completed")
+    (out_dir / "task_bench.txt").write_text("\n".join(lines) + "\n",
+                                            encoding="utf-8")
+    return failures
+
+
 def run_smoke(out_dir: pathlib.Path) -> None:
     """CI smoke mode: one tiny app per figure, assert each completes.
 
@@ -69,13 +139,17 @@ def run_smoke(out_dir: pathlib.Path) -> None:
         if not produced.exists() or not produced.read_text(
                 encoding="utf-8").strip():
             failures.append(f"{name}: produced no output")
+    try:
+        failures.extend(run_task_bench(out_dir))
+    except Exception as error:  # noqa: BLE001 - smoke verdict
+        failures.append(f"task-bench: {type(error).__name__}: {error}")
     if failures:
         print("[reproduce] SMOKE FAILURES:")
         for failure in failures:
             print(f"  - {failure}")
         raise SystemExit(1)
-    print(f"[reproduce] smoke OK: {len(plan)} figure harnesses "
-          f"completed (outputs in {out_dir}/)")
+    print(f"[reproduce] smoke OK: {len(plan)} figure harnesses and the "
+          f"task microbenchmark completed (outputs in {out_dir}/)")
 
 
 def main() -> None:
@@ -95,12 +169,27 @@ def main() -> None:
     parser.add_argument("--smoke", action="store_true",
                         help="CI smoke run: one tiny app per figure, "
                              "fail if any harness breaks")
+    parser.add_argument("--task-bench", action="store_true",
+                        help="run only the qsort/bfs task-scheduler "
+                             "microbenchmark (steal counts, task-count "
+                             "conservation)")
     args = parser.parse_args()
 
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     if args.smoke:
         run_smoke(out_dir)
+        return
+    if args.task_bench:
+        threads = int(args.threads.split(",")[-1])
+        failures = run_task_bench(out_dir, threads=threads,
+                                  profile=args.profile)
+        if failures:
+            print("[reproduce] TASK-BENCH FAILURES:")
+            for failure in failures:
+                print(f"  - {failure}")
+            raise SystemExit(1)
+        print(f"[reproduce] task bench OK -> {out_dir / 'task_bench.txt'}")
         return
     common = ["--profile", args.profile, "--threads", args.threads,
               "--repeats", args.repeats]

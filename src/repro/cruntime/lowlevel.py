@@ -6,8 +6,9 @@ Where the pure runtime coordinates with mutexes, this module uses the
 * shared counters are :class:`~repro.atomics.AtomicLong` — dynamic
   scheduling advances with ``fetch_add``, guided scheduling with a
   ``compare_exchange`` retry loop;
-* task-queue appends link nodes with a pointer ``compare_exchange``
-  (Michael–Scott style, with tail helping) instead of a queue mutex;
+* the per-thread task deque is :class:`ChaseLevDeque`, a Chase–Lev-style
+  owner/thief protocol: the owner works the bottom without
+  synchronization, thieves advance ``top`` with ``compare_exchange``;
 * shared-slot creation uses the atomic-swap protocol: every late
   arriver's candidate slot is discarded in favour of the winner's;
 * events are :class:`CEvent`, a slim flag-first event mirroring the
@@ -19,7 +20,7 @@ from __future__ import annotations
 
 import threading
 
-from repro.atomics import AtomicLong, atomic_setdefault, cas_attr
+from repro.atomics import AtomicLong, atomic_setdefault
 
 
 class CEvent:
@@ -52,6 +53,88 @@ class CEvent:
         return self._flag.load() != 0
 
 
+class ChaseLevDeque:
+    """Chase–Lev-style work-stealing deque on atomic indices.
+
+    The owner pushes and pops at ``bottom`` (LIFO); thieves advance the
+    atomic ``top`` with ``compare_exchange`` (FIFO).  Storage is a dict
+    keyed by the *absolute* index, and both indices grow monotonically
+    for the deque's lifetime: slots are deleted as they are consumed, so
+    memory is bounded by the live population and indices are never
+    recycled (no ABA window for a stale thief to resurrect).
+
+    Races the original algorithm closes with memory fences are closed
+    here by the task-state ``claim()`` CAS in the scheduler above: the
+    owner and a thief may both return the same node near the top==bottom
+    boundary, but only one ``claim()`` succeeds.  What this structure
+    does guarantee is that no pushed node is lost — every index in
+    ``[top, bottom)`` stays readable until a consumer advanced past it.
+    """
+
+    __slots__ = ("_items", "_top", "_bottom")
+
+    def __init__(self):
+        self._items: dict = {}
+        self._top = AtomicLong(0)
+        self._bottom = 0  # owner-written; thieves read it advisorily
+
+    def push(self, node) -> None:
+        bottom = self._bottom
+        self._items[bottom] = node
+        # Publish after the slot write: thieves check top < bottom
+        # before reading, so a visible index implies a visible slot.
+        self._bottom = bottom + 1
+
+    def pop(self):
+        bottom = self._bottom - 1
+        # Publish the decrement *before* reading top (the canonical
+        # Chase-Lev order): thieves that load bottom afterwards back off
+        # the contested slot.
+        self._bottom = bottom
+        top = self._top.load()
+        if bottom < top:
+            # Thieves emptied the deque under us; restore the empty
+            # state (bottom == top) so future pushes are visible.
+            self._bottom = top
+            return None
+        node = self._items.pop(bottom, None)
+        if node is None:
+            # An in-flight thief (holding a pre-decrement bottom) took
+            # this slot and advanced top past us; resynchronize.
+            top = self._top.load()
+            if self._bottom < top:
+                self._bottom = top
+            return None
+        if bottom > top:
+            return node
+        # Last element: race the thieves for it.
+        won = self._top.compare_exchange(top, top + 1)
+        self._bottom = top + 1
+        return node if won else None
+
+    def steal(self):
+        top_counter = self._top
+        while True:
+            top = top_counter.load()
+            if top >= self._bottom:
+                return None
+            node = self._items.get(top)
+            if node is None:
+                # The slot was consumed, which implies top already
+                # advanced past our read; reload and retry.
+                continue
+            if top_counter.compare_exchange(top, top + 1):
+                self._items.pop(top, None)
+                return node
+
+    def __bool__(self) -> bool:
+        # Advisory emptiness check for pre-sleep rechecks.
+        return self._top.load() < self._bottom
+
+    def __len__(self) -> int:
+        return max(0, self._bottom - self._top.load())
+
+
 class NativeLowLevel:
     """Primitives for the native-simulation runtime."""
 
@@ -72,19 +155,8 @@ class NativeLowLevel:
         return AtomicLong(initial)
 
     @staticmethod
-    def queue_append(queue, node) -> None:
-        """Lock-free append: CAS the tail's next-reference, helping a
-        stale tail forward when the CAS loses."""
-        while True:
-            tail = queue.tail
-            nxt = tail.next
-            if nxt is None:
-                if cas_attr(tail, "next", None, node):
-                    break
-            else:
-                # Help: swing the (advisory) tail pointer forward.
-                queue.tail = nxt
-        queue.tail = node
+    def make_deque():
+        return ChaseLevDeque()
 
     @staticmethod
     def slot_get_or_create(table: dict, lock, key, factory):

@@ -24,6 +24,8 @@ callback             fired when
                      one claimed section, or the selected single
 ``task_create``      an explicit task is submitted
 ``task_schedule``    an explicit task starts executing
+``task_steal``       an explicit task was claimed from another thread's
+                     deque (fires just before its ``task_schedule``)
 ``task_complete``    an explicit task finished (tasking layer)
 ``sync_region``      barrier/taskwait enter and release; the release
                      carries the measured wait time in seconds
@@ -79,6 +81,14 @@ class ToolHooks:
     def task_schedule(self, thread: int, task_id: int) -> None:
         """An explicit task begins execution on ``thread``."""
 
+    def task_steal(self, thread: int, task_id: int, victim: int) -> None:
+        """``thread`` stole a task from ``victim``'s deque.
+
+        Fires on the thief, immediately before the task's
+        ``task_schedule``; tasks popped from the executing thread's own
+        deque (or claimed directly at a taskwait) never fire it.
+        """
+
     def task_complete(self, thread: int, task_id: int) -> None:
         """An explicit task finished on ``thread``."""
 
@@ -113,9 +123,9 @@ class ToolHooks:
 
 #: Every dispatchable callback name, in catalogue order.
 CALLBACK_NAMES = ("parallel_begin", "parallel_end", "implicit_task",
-                  "work", "task_create", "task_schedule", "task_complete",
-                  "sync_region", "mutex_acquire", "mutex_acquired",
-                  "mutex_released")
+                  "work", "task_create", "task_schedule", "task_steal",
+                  "task_complete", "sync_region", "mutex_acquire",
+                  "mutex_acquired", "mutex_released")
 
 
 class ToolDispatcher(ToolHooks):
@@ -152,6 +162,10 @@ class ToolDispatcher(ToolHooks):
     def task_schedule(self, thread, task_id):
         for tool in self.tools:
             tool.task_schedule(thread, task_id)
+
+    def task_steal(self, thread, task_id, victim):
+        for tool in self.tools:
+            tool.task_steal(thread, task_id, victim)
 
     def task_complete(self, thread, task_id):
         for tool in self.tools:

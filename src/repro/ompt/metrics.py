@@ -181,6 +181,9 @@ class MetricsTool(ToolHooks):
         self._lock = threading.Lock()
         #: task id → (submit_ts, start_ts | None); popped on completion.
         self._tasks: dict[int, list] = {}
+        #: task ids whose ``task_steal`` fired and whose
+        #: ``task_schedule`` hasn't yet; drives local/stolen attribution.
+        self._stolen: set[int] = set()
 
     # -- parallel regions -------------------------------------------------
 
@@ -241,6 +244,21 @@ class MetricsTool(ToolHooks):
             self.registry.counter(
                 "omp_tasks_executed_total",
                 "Explicit tasks executed, per thread",
+                thread=thread).inc()
+            if task_id in self._stolen:
+                self._stolen.discard(task_id)
+            else:
+                self.registry.counter(
+                    "omp_task_local_hits_total",
+                    "Tasks executed without stealing, per thread",
+                    thread=thread).inc()
+
+    def task_steal(self, thread, task_id, victim):
+        with self._lock:
+            self._stolen.add(task_id)
+            self.registry.counter(
+                "omp_task_steals_total",
+                "Tasks claimed from another thread's deque, per thief",
                 thread=thread).inc()
 
     def task_complete(self, thread, task_id):

@@ -21,7 +21,7 @@ from repro.runtime.context import TaskFrame
 from repro.runtime.locks import OmpLock, OmpNestLock
 from repro.runtime.stats import StatsCollector
 from repro.runtime.tasking import TaskNode
-from repro.runtime.team import Team
+from repro.runtime.team import BACKOFF_MIN, Team, next_backoff
 from repro.runtime.trace import Tracer
 
 
@@ -162,7 +162,7 @@ class OmpRuntime:
                 team.record_error(index, error)
             finally:
                 try:
-                    team.barrier.wait(self._execute_task_node)
+                    team.barrier.wait(self._run_one_task, index)
                 except BaseException as error:  # noqa: BLE001
                     team.record_error(index, error)
                 team.cpu_times[index] = time.thread_time() - begin
@@ -260,17 +260,13 @@ class OmpRuntime:
         divisors.reverse()
         return tuple(divisors)
 
-    def ordered_start(self, bounds, value: int) -> None:
-        info = bounds[2]
-        linear = value if info.collapsed else worksharing.linear_index(
-            bounds, value)
-        worksharing.ordered_start(bounds, linear)
+    def ordered_start(self, bounds, value) -> None:
+        worksharing.ordered_start(
+            bounds, worksharing.linear_index(bounds, value))
 
-    def ordered_end(self, bounds, value: int) -> None:
-        info = bounds[2]
-        linear = value if info.collapsed else worksharing.linear_index(
-            bounds, value)
-        worksharing.ordered_end(bounds, linear)
+    def ordered_end(self, bounds, value) -> None:
+        worksharing.ordered_end(
+            bounds, worksharing.linear_index(bounds, value))
 
     # ------------------------------------------------------------------
     # Worksharing: sections / single
@@ -319,7 +315,11 @@ class OmpRuntime:
             tool.sync_region(frame.thread_num, "barrier", "enter", None)
         begin = time.perf_counter() if (tracing or tool is not None) \
             else 0.0
-        frame.team.barrier.wait(self._execute_task_node)
+        frame.team.barrier.wait(self._run_one_task, frame.thread_num)
+        # A released barrier implies every team task completed, so the
+        # frame's dependence history and child list are all dead weight.
+        self._prune_dependences(frame)
+        frame.children.clear()
         if tracing or tool is not None:
             wait = time.perf_counter() - begin
             if tracing:
@@ -417,14 +417,23 @@ class OmpRuntime:
         if not if_:
             # if(false): the task is undeferred — the encountering
             # thread executes it immediately (OpenMP 3.0 §2.7), but
-            # only once its dependences are satisfied.  A task on a
-            # single-thread team stays *deferred*: it waits in the
-            # queue for a scheduling point, which keeps deep task
-            # recursions (bfs) iterative instead of growing the stack.
+            # only once its dependences are satisfied.  While a
+            # predecessor runs elsewhere, this thread helps with other
+            # team tasks instead of blocking — which also keeps a
+            # single-thread team live when the predecessor is still
+            # sitting unclaimed in a deque.
             for predecessor in predecessors:
-                while not predecessor.event.wait(timeout=0.05):
+                backoff = BACKOFF_MIN
+                while not predecessor.done:
                     if team.broken:
                         return
+                    if self._run_one_task(team, frame.thread_num):
+                        backoff = BACKOFF_MIN
+                        continue
+                    # Backoff fallback: completion sets the event, so
+                    # the timeout only bounds breakage detection.
+                    predecessor.event.wait(timeout=backoff)
+                    backoff = next_backoff(backoff)
             team.pending.fetch_add(1)
             frame.children.append(node)
             node.claim()
@@ -445,13 +454,15 @@ class OmpRuntime:
                 -(already_done + 1))
             if remaining - (already_done + 1) > 0:
                 return  # a predecessor's completion will release it
-        self._release_task(node)
+        self._release_task(node, frame.thread_num)
 
-    def _release_task(self, node: TaskNode) -> None:
-        """Make a (possibly formerly WAITING) task claimable."""
+    def _release_task(self, node: TaskNode, thread_num: int) -> None:
+        """Make a (possibly formerly WAITING) task claimable by pushing
+        it onto ``thread_num``'s deque, then signal any sleeping
+        waiters (the push must be visible before the poke)."""
         from repro.runtime.tasking import FREE, WAITING
         node.state.compare_exchange(WAITING, FREE)
-        node.team.task_queue.append(node)
+        node.team.scheduler.push(thread_num, node)
         node.team.barrier.poke()
 
     def _resolve_dependences(self, frame: TaskFrame, node: TaskNode,
@@ -483,11 +494,13 @@ class OmpRuntime:
     def task_wait(self) -> None:
         """Complete all direct children of the current task."""
         frame = self.current_frame()
+        team = frame.team
         tool = self.tool
         if tool is not None:
             tool.sync_region(frame.thread_num, "taskwait", "enter", None)
             begin = time.perf_counter()
-        while not frame.team.broken:
+        backoff = BACKOFF_MIN
+        while not team.broken:
             incomplete = [c for c in frame.children if not c.done]
             if not incomplete:
                 break
@@ -496,12 +509,66 @@ class OmpRuntime:
                 if child.claim():
                     self._execute_task_node(child)
                     progressed = True
-            if not progressed:
-                incomplete[0].event.wait(timeout=0.005)
+            if progressed:
+                backoff = BACKOFF_MIN
+                continue
+            # Children are running elsewhere or waiting on dependences:
+            # a taskwait is a scheduling point, so help with any team
+            # task before sleeping on a child's completion event.  The
+            # timeout is the bounded-backoff safety net (breakage, or a
+            # child released onto another thread's deque mid-sleep).
+            if self._run_one_task(team, frame.thread_num):
+                backoff = BACKOFF_MIN
+                continue
+            incomplete[0].event.wait(timeout=backoff)
+            backoff = next_backoff(backoff)
         if tool is not None:
             tool.sync_region(frame.thread_num, "taskwait", "release",
                              time.perf_counter() - begin)
         frame.children.clear()
+        self._prune_dependences(frame)
+
+    def _prune_dependences(self, frame: TaskFrame) -> None:
+        """Drop dependence entries whose writer and readers have all
+        completed (taskwait and region-end bookkeeping).
+
+        Without this the per-frame history — and, through
+        ``depend_refs``, every object ever named in a depend clause —
+        grows for the life of the region, which for the never-popped
+        implicit frame of an initial thread means the life of the
+        program.
+        """
+        depend_map = frame.depend_map
+        if not depend_map:
+            return
+        dead = [key for key, (writer, readers) in depend_map.items()
+                if (writer is None or writer.done)
+                and all(reader.done for reader in readers)]
+        for key in dead:
+            del depend_map[key]
+            frame.depend_refs.pop(key, None)
+
+    def _run_one_task(self, team, thread_num: int) -> bool:
+        """Claim and execute one task from the team's scheduler.
+
+        The callback behind every scheduling point (barrier drain,
+        taskwait, undeferred-dependence waits).  Fires the steal
+        instrumentation when the claimed task came from another
+        thread's deque.
+        """
+        claimed = team.scheduler.claim(thread_num)
+        if claimed is None:
+            return False
+        node, victim = claimed
+        if victim != thread_num:
+            if self.tracer.enabled:
+                self.tracer.record("task_steal", thread_num, id(node),
+                                   victim)
+            tool = self.tool
+            if tool is not None:
+                tool.task_steal(thread_num, id(node), victim)
+        self._execute_task_node(node)
+        return True
 
     def _execute_task_node(self, node: TaskNode) -> None:
         frame = self.current_frame()
@@ -525,7 +592,7 @@ class OmpRuntime:
             ready = node.finish()
             node.team.pending.fetch_add(-1)
             for successor in ready:
-                self._release_task(successor)
+                self._release_task(successor, frame.thread_num)
             node.team.barrier.poke()
 
     # ------------------------------------------------------------------

@@ -6,7 +6,7 @@ Python analogue of the paper's ``.pxd`` declaration files.  The pure
 implementation coordinates through mutexes (``threading.Lock``); the
 native simulation in :mod:`repro.cruntime.lowlevel` substitutes atomic
 operations, exactly the split the paper describes for dynamic-schedule
-counters, task enqueueing, and shared-slot creation.
+counters, task deques, and shared-slot creation.
 
 Interface (duck-typed, no ABC overhead on hot paths):
 
@@ -14,8 +14,13 @@ Interface (duck-typed, no ABC overhead on hot paths):
 * ``make_counter(initial)`` — object with ``load``, ``store``,
   ``fetch_add(delta) -> old`` and ``compare_exchange(expected, desired)
   -> bool``.
-* ``queue_append(queue, node)`` — link ``node`` at the tail of a task
-  queue (see :mod:`repro.runtime.tasking`).
+* ``make_deque()`` — a work-stealing deque with ``push(node)`` (owner),
+  ``pop() -> node | None`` (owner, LIFO), ``steal() -> node | None``
+  (any thread, FIFO) and an advisory ``__bool__`` (see
+  :mod:`repro.runtime.tasking`).  Deques may hand the same node to an
+  owner and a thief under races; the task-state ``claim()`` CAS is the
+  execution gate, so the only hard guarantee a deque must provide is
+  that no pushed node is *lost*.
 * ``slot_get_or_create(table, lock, key, factory)`` — shared-slot
   creation for worksharing constructs.
 """
@@ -23,6 +28,7 @@ Interface (duck-typed, no ABC overhead on hot paths):
 from __future__ import annotations
 
 import threading
+from collections import deque
 
 
 class MutexCounter:
@@ -59,6 +65,41 @@ class MutexCounter:
             return False
 
 
+class MutexDeque:
+    """Work-stealing deque serialised by a mutex (the pure runtime).
+
+    The owner pushes and pops at the right end (LIFO, the recursive
+    decomposition order qsort/bfs want); thieves take from the left end
+    (FIFO, the oldest — typically largest — subproblem).
+    """
+
+    __slots__ = ("_items", "_lock")
+
+    def __init__(self):
+        self._items = deque()
+        self._lock = threading.Lock()
+
+    def push(self, node) -> None:
+        with self._lock:
+            self._items.append(node)
+
+    def pop(self):
+        with self._lock:
+            return self._items.pop() if self._items else None
+
+    def steal(self):
+        with self._lock:
+            return self._items.popleft() if self._items else None
+
+    def __bool__(self) -> bool:
+        # Advisory: racy readers only use this to decide whether another
+        # claim attempt is worth making before sleeping.
+        return bool(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
 class PureLowLevel:
     """Mutex-based primitives for the pure-Python ``runtime``."""
 
@@ -77,12 +118,8 @@ class PureLowLevel:
         return MutexCounter(initial)
 
     @staticmethod
-    def queue_append(queue, node) -> None:
-        """Append under the queue mutex (paper: "the runtime uses a
-        mutex to update the next-reference")."""
-        with queue.mutex:
-            queue.tail.next = node
-            queue.tail = node
+    def make_deque():
+        return MutexDeque()
 
     @staticmethod
     def slot_get_or_create(table: dict, lock, key, factory):

@@ -1,13 +1,21 @@
-"""Explicit tasking: the shared task queue and task lifecycle.
+"""Explicit tasking: work-stealing deques and the task lifecycle.
 
-The queue is a linked list, as in the paper: each node stores the task
-function, its execution state (free / in-progress / completed), a
-completion event, and a next-reference.  The pure runtime serialises
-appends with the queue mutex; the cruntime substitutes a
-``compare_exchange`` on the tail's next-reference (see
-:mod:`repro.cruntime.lowlevel`).  State transitions use the counter
-interface, so claiming a task is a mutex-guarded CAS in the pure runtime
-and an atomic CAS in the cruntime.
+Tasks live in per-thread deques rather than one shared queue: each team
+member pushes the tasks it submits onto its own deque, pops them back
+LIFO (depth-first, so recursive decompositions like qsort/bfs reuse warm
+data), and steals FIFO from round-robin-chosen victims when its own
+deque runs dry (breadth-first, so a thief takes the oldest — typically
+largest — subproblem).  The pure runtime backs each deque with a mutex
+(:class:`repro.runtime.lowlevel.MutexDeque`); the cruntime substitutes a
+CAS-based Chase–Lev-style owner/thief protocol
+(:class:`repro.cruntime.lowlevel.ChaseLevDeque`).
+
+Deque entries are *hints*, not ownership: the single execution gate is
+the task node's ``claim()`` compare-exchange.  A node handed out twice
+under an owner/thief race, or claimed directly by ``taskwait`` while
+still sitting in a deque, is executed exactly once — the losers observe
+a failed CAS and move on.  That discipline is what lets the Chase–Lev
+emulation stay fence-free.
 """
 
 from __future__ import annotations
@@ -22,9 +30,9 @@ WAITING = 3
 
 
 class TaskNode:
-    """One node of the shared task queue."""
+    """One explicit task: function, state machine, completion event."""
 
-    __slots__ = ("fn", "state", "event", "next", "team", "dep_lock",
+    __slots__ = ("fn", "state", "event", "team", "dep_lock",
                  "dep_done", "successors", "deps_remaining")
 
     def __init__(self, fn, team, lowlevel):
@@ -32,7 +40,6 @@ class TaskNode:
         self.team = team
         self.state = lowlevel.make_counter(FREE)
         self.event = lowlevel.make_event()
-        self.next = None
         # Dependence bookkeeping (inert unless depend clauses are used).
         self.dep_lock = lowlevel.make_mutex()
         self.dep_done = False
@@ -62,7 +69,7 @@ class TaskNode:
         self.state.store(DONE)
         self.event.set()
         team = self.team
-        if team is not None:  # the queue sentinel has no team
+        if team is not None:
             tool = team.runtime.tool
             if tool is not None:
                 tool.task_complete(team.runtime.get_thread_num(),
@@ -74,49 +81,69 @@ class TaskNode:
         return self.state.load() == DONE
 
 
-class TaskQueue:
-    """Linked-list task queue shared by a team.
+class WorkStealingScheduler:
+    """Per-thread work-stealing deques for one team.
 
-    ``head`` is a sentinel; completed prefix nodes are unlinked lazily
-    during traversal so walks stay short for producer–consumer patterns.
+    ``push``/``claim`` take the caller's team-relative thread number;
+    the per-thread ``local_hits``/``steals`` tallies are owner-written
+    plain slots (no synchronization — each index is only ever written by
+    its own thread) and feed the OMPT steal counters and the benchmark
+    harness.
     """
 
-    __slots__ = ("lowlevel", "mutex", "head", "tail")
+    __slots__ = ("deques", "size", "local_hits", "steals")
 
-    def __init__(self, lowlevel):
-        self.lowlevel = lowlevel
-        self.mutex = lowlevel.make_mutex()
-        sentinel = TaskNode(None, None, lowlevel)
-        sentinel.state.store(DONE)
-        self.head = sentinel
-        self.tail = sentinel
+    def __init__(self, lowlevel, size: int):
+        self.deques = [lowlevel.make_deque() for _ in range(size)]
+        self.size = size
+        self.local_hits = [0] * size
+        self.steals = [0] * size
 
-    def append(self, node: TaskNode) -> None:
-        self.lowlevel.queue_append(self, node)
+    def push(self, thread_num: int, node: TaskNode) -> None:
+        self.deques[thread_num].push(node)
 
-    def claim_next(self) -> TaskNode | None:
-        """Claim the first free task, unlinking completed prefix nodes.
+    def claim(self, thread_num: int):
+        """Claim one runnable task for ``thread_num``.
 
-        The prefix unlink (``self.head = node`` once the old head chain
-        is fully completed) is a benign single-reference update: a stale
-        head only means a slightly longer walk.
+        Pops the thread's own deque LIFO first; when empty, steals FIFO
+        from the other deques in round-robin order starting at the next
+        thread.  Returns ``(node, victim_thread)`` with the node already
+        claimed (state RUNNING), or ``None`` when no claimable task was
+        found.  Nodes whose ``claim()`` fails were executed through
+        another path (taskwait direct claim, duplicate steal hint) and
+        are simply discarded.
         """
-        prev = self.head
-        node = prev.next
-        while node is not None:
+        own = self.deques[thread_num]
+        while True:
+            node = own.pop()
+            if node is None:
+                break
             if node.claim():
-                return node
-            if node.done and prev is self.head and node.next is not None:
-                # Hop the completed prefix forward.
-                self.head = node
-            prev = node
-            node = node.next
+                self.local_hits[thread_num] += 1
+                return node, thread_num
+        size = self.size
+        for offset in range(1, size):
+            victim = thread_num + offset
+            if victim >= size:
+                victim -= size
+            target = self.deques[victim]
+            while True:
+                node = target.steal()
+                if node is None:
+                    break
+                if node.claim():
+                    self.steals[thread_num] += 1
+                    return node, victim
         return None
 
-    def has_free(self) -> bool:
-        node = self.head.next
-        while node is not None:
-            if node.state.load() == FREE:
+    def has_work(self) -> bool:
+        """Advisory: might any deque hold a claimable node?
+
+        Used only for the pre-sleep recheck in the barrier; stale nodes
+        that lost their claim race can make this report ``True`` once
+        more than necessary, which costs one extra (empty) claim pass.
+        """
+        for deque_ in self.deques:
+            if deque_:
                 return True
-            node = node.next
         return False

@@ -24,9 +24,10 @@ class TraceEvent:
     """One runtime event.
 
     ``kind`` is one of: ``region_fork``, ``region_join``,
-    ``chunk``, ``task_submit``, ``task_start``, ``task_finish``,
-    ``barrier_enter``, ``barrier_release`` (whose detail carries the
-    measured wait time in seconds).
+    ``chunk``, ``task_submit``, ``task_steal`` (detail: task id and the
+    victim thread the task was stolen from), ``task_start``,
+    ``task_finish``, ``barrier_enter``, ``barrier_release`` (whose
+    detail carries the measured wait time in seconds).
     """
 
     timestamp: float
@@ -121,6 +122,22 @@ class TraceSummary:
                 low, high = event.detail[:2]
                 totals[event.thread] += max(0, high - low)
         return dict(totals)
+
+    def steals_per_thread(self) -> dict[int, int]:
+        """Tasks each thread stole from another thread's deque."""
+        counts: Counter[int] = Counter()
+        for event in self.events:
+            if event.kind == "task_steal":
+                counts[event.thread] += 1
+        return dict(counts)
+
+    def steal_victims(self) -> dict[int, int]:
+        """Tasks stolen *from* each thread's deque."""
+        counts: Counter[int] = Counter()
+        for event in self.events:
+            if event.kind == "task_steal" and len(event.detail) > 1:
+                counts[event.detail[1]] += 1
+        return dict(counts)
 
     def task_executors(self) -> dict[int, int]:
         counts: Counter[int] = Counter()

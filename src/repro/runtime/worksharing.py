@@ -19,6 +19,7 @@ from __future__ import annotations
 import threading
 
 from repro.errors import OmpRuntimeError
+from repro.runtime.team import BACKOFF_MIN, next_backoff
 
 
 def trip_count(start: int, stop: int, step: int) -> int:
@@ -202,10 +203,15 @@ def ordered_start(bounds, linear_index: int) -> None:
         raise OmpRuntimeError(
             "ordered region requires a loop with the ordered clause")
     with slot.ordered_cond:
+        backoff = BACKOFF_MIN
         while slot.ordered_next != linear_index:
             if info.team is not None and info.team.broken:
                 return  # a peer died; the region is being torn down
-            slot.ordered_cond.wait(timeout=0.05)
+            # ordered_end notifies the condition; the timeout is the
+            # bounded-backoff breakage check only (record_error cannot
+            # reach per-slot condition variables).
+            slot.ordered_cond.wait(timeout=backoff)
+            backoff = next_backoff(backoff)
 
 
 def ordered_end(bounds, linear_index: int) -> None:
@@ -215,11 +221,59 @@ def ordered_end(bounds, linear_index: int) -> None:
         slot.ordered_cond.notify_all()
 
 
-def linear_index(bounds, value: int) -> int:
-    """Map a loop-variable value back to its 0-based iteration number."""
+def linear_index(bounds, value) -> int:
+    """Map an ordered-construct index to its 0-based position in the
+    loop's (possibly collapsed) iteration space.
+
+    Three forms, by loop shape and argument type:
+
+    * single loop, integer ``value`` — the loop-variable value, mapped
+      through the triplet;
+    * collapsed loop, integer ``value`` — the linearized iteration
+      number the generated driver iterates directly (the transformer
+      recovers the per-level variables from it with divmod), which *is*
+      the position: identity;
+    * collapsed loop, tuple ``value`` — per-level loop-variable values,
+      delegated to :func:`collapsed_index` (the hand-driven runtime-API
+      form).
+
+    Mapping a collapsed value through ``triplets[0]`` — what this
+    function did before it was collapse-aware — ordered iterations by a
+    number computed from the wrong triplet (negative or colliding
+    whenever the outer loop does not start at 0 with step 1).
+    """
     info: LoopInfo = bounds[2]
+    if info.collapsed:
+        if isinstance(value, tuple):
+            return collapsed_index(bounds, value)
+        return value
     start, _stop, step = info.triplets[0]
     return (value - start) // step
+
+
+def collapsed_index(bounds, values) -> int:
+    """Linear iteration number of one point of a collapsed space.
+
+    ``values`` holds the loop-variable values, outermost first.  Each
+    level contributes its 0-based iteration count times the product of
+    the trip counts of the levels below it — the inverse of the
+    generated divmod recovery (``LoopInfo.inner_trips`` is that product
+    for level 0).
+    """
+    info: LoopInfo = bounds[2]
+    if len(values) != len(info.triplets):
+        raise OmpRuntimeError(
+            f"collapsed ordered index needs {len(info.triplets)} loop "
+            f"values, got {len(values)}")
+    linear = 0
+    weight = info.total
+    for (start, _stop, step), trips, value in zip(
+            info.triplets, info.trips, values):
+        if trips == 0:
+            return 0  # empty iteration space; the loop body never runs
+        weight //= trips
+        linear += ((value - start) // step) * weight
+    return linear
 
 
 class SectionsState:
@@ -286,7 +340,11 @@ def copyprivate_set(state: SectionsState, payload) -> None:
 
 
 def copyprivate_get(state: SectionsState):
-    while not state.slot.payload_event.wait(timeout=0.05):
+    backoff = BACKOFF_MIN
+    # copyprivate_set sets the event; the timeout is the bounded-backoff
+    # breakage check only (the publisher may have died without setting).
+    while not state.slot.payload_event.wait(timeout=backoff):
         if state.team is not None and state.team.broken:
             return None  # the publishing thread died
+        backoff = next_backoff(backoff)
     return state.slot.payload

@@ -92,6 +92,7 @@ class TestDispatcher:
         dispatcher.work(1, "loop", 0, 10)
         dispatcher.task_create(0, 7)
         dispatcher.task_schedule(1, 7)
+        dispatcher.task_steal(1, 7, 0)
         dispatcher.task_complete(1, 7)
         dispatcher.sync_region(0, "barrier", "release", 0.5)
         dispatcher.mutex_acquire(0, "critical", "c")

@@ -6,7 +6,8 @@ import pytest
 
 from repro.cruntime import cruntime
 from repro.runtime import pure_runtime
-from repro.runtime.tasking import DONE, FREE, TaskNode, TaskQueue
+from repro.runtime.tasking import (DONE, FREE, TaskNode,
+                                   WorkStealingScheduler)
 
 
 @pytest.fixture(params=["pure", "cruntime"])
@@ -14,25 +15,50 @@ def rt(request):
     return pure_runtime if request.param == "pure" else cruntime
 
 
-class TestTaskQueueUnit:
-    def test_append_and_claim_order(self, rt):
-        queue = TaskQueue(rt.lowlevel)
+class TestSchedulerUnit:
+    def test_local_pop_is_lifo(self, rt):
+        scheduler = WorkStealingScheduler(rt.lowlevel, 2)
         nodes = [TaskNode(lambda: None, None, rt.lowlevel)
                  for _ in range(3)]
         for node in nodes:
-            queue.append(node)
-        claimed = [queue.claim_next() for _ in range(3)]
-        assert claimed == nodes
-        assert queue.claim_next() is None
+            scheduler.push(0, node)
+        claimed = [scheduler.claim(0) for _ in range(3)]
+        assert [node for node, _ in claimed] == nodes[::-1]
+        assert all(victim == 0 for _, victim in claimed)
+        assert scheduler.claim(0) is None
+        assert scheduler.local_hits[0] == 3
+        assert scheduler.steals == [0, 0]
 
-    def test_claim_skips_running_and_done(self, rt):
-        queue = TaskQueue(rt.lowlevel)
+    def test_steal_is_fifo_from_victim(self, rt):
+        scheduler = WorkStealingScheduler(rt.lowlevel, 3)
+        nodes = [TaskNode(lambda: None, None, rt.lowlevel)
+                 for _ in range(3)]
+        for node in nodes:
+            scheduler.push(0, node)
+        node, victim = scheduler.claim(2)
+        assert node is nodes[0]  # the oldest entry of thread 0's deque
+        assert victim == 0
+        assert scheduler.steals[2] == 1
+        assert scheduler.local_hits[2] == 0
+
+    def test_claim_skips_nodes_claimed_elsewhere(self, rt):
+        scheduler = WorkStealingScheduler(rt.lowlevel, 1)
         first = TaskNode(lambda: None, None, rt.lowlevel)
         second = TaskNode(lambda: None, None, rt.lowlevel)
-        queue.append(first)
-        queue.append(second)
-        assert first.claim()  # simulate another thread holding it
-        assert queue.claim_next() is second
+        scheduler.push(0, first)
+        scheduler.push(0, second)
+        assert second.claim()  # e.g. a taskwait direct claim
+        node, _ = scheduler.claim(0)
+        assert node is first
+        assert scheduler.claim(0) is None
+
+    def test_has_work_advisory(self, rt):
+        scheduler = WorkStealingScheduler(rt.lowlevel, 2)
+        assert not scheduler.has_work()
+        scheduler.push(1, TaskNode(lambda: None, None, rt.lowlevel))
+        assert scheduler.has_work()
+        scheduler.claim(1)
+        assert not scheduler.has_work()
 
     def test_states(self, rt):
         node = TaskNode(lambda: None, None, rt.lowlevel)
@@ -45,28 +71,34 @@ class TestTaskQueueUnit:
         assert node.event.is_set()
 
     def test_concurrent_claims_unique(self, rt):
-        queue = TaskQueue(rt.lowlevel)
-        total = 200
-        for _ in range(total):
-            queue.append(TaskNode(lambda: None, None, rt.lowlevel))
+        """Task-count conservation: every pushed node is claimed exactly
+        once across concurrent owners and thieves."""
+        size = 8
+        scheduler = WorkStealingScheduler(rt.lowlevel, size)
+        total = 400
+        for index in range(total):
+            scheduler.push(index % size,
+                           TaskNode(lambda: None, None, rt.lowlevel))
         claimed = []
         lock = threading.Lock()
 
-        def worker():
+        def worker(thread_num):
             while True:
-                node = queue.claim_next()
-                if node is None:
+                result = scheduler.claim(thread_num)
+                if result is None:
                     return
                 with lock:
-                    claimed.append(node)
+                    claimed.append(result[0])
 
-        workers = [threading.Thread(target=worker) for _ in range(8)]
+        workers = [threading.Thread(target=worker, args=(num,))
+                   for num in range(size)]
         for thread in workers:
             thread.start()
         for thread in workers:
             thread.join()
         assert len(claimed) == total
         assert len(set(map(id, claimed))) == total
+        assert sum(scheduler.local_hits) + sum(scheduler.steals) == total
 
 
 class TestTaskExecution:
