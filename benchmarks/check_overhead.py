@@ -1,0 +1,100 @@
+"""Gate diagnostics overhead: compare two ``BENCH_smoke.json`` files.
+
+The flight recorder and watchdog promise a one-attribute-read cost when
+disarmed, so a smoke run with ``OMP4PY_FLIGHT``/``OMP4PY_WATCHDOG``
+unset must stay within 2% of the recorded baseline.  CI records the
+baseline from the pre-diagnostics interpreter state (a first smoke run
+in the same job, so both runs share the machine) and fails the build if
+the second run regresses past the tolerance.
+
+Smoke kernels finish in fractions of a second, where scheduler jitter
+alone exceeds 2%, so the per-kernel check adds an absolute floor: a
+kernel only fails the gate when it is slower by *both* the relative
+tolerance and the floor.  The total wall time is held to the relative
+tolerance plus one floor.
+
+Usage::
+
+    python benchmarks/check_overhead.py BASELINE.json CURRENT.json \
+        [--tolerance 0.02] [--floor 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+SCHEMA = "omp4py-bench-smoke/1"
+
+
+def load(path: pathlib.Path) -> dict:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    schema = payload.get("schema")
+    if schema != SCHEMA:
+        raise SystemExit(
+            f"{path}: unexpected schema {schema!r} (want {SCHEMA!r})")
+    return payload
+
+
+def compare(baseline: dict, current: dict, tolerance: float,
+            floor: float) -> list[str]:
+    """Return a list of human-readable regression verdicts (empty = OK)."""
+    failures: list[str] = []
+    base_by_kernel = {r["kernel"]: r for r in baseline["kernels"]}
+    for record in current["kernels"]:
+        base = base_by_kernel.get(record["kernel"])
+        if base is None:
+            continue  # new kernel since the baseline: nothing to hold it to
+        delta = record["wall_s"] - base["wall_s"]
+        if delta > base["wall_s"] * tolerance and delta > floor:
+            failures.append(
+                f"{record['kernel']}: {base['wall_s']:.3f}s -> "
+                f"{record['wall_s']:.3f}s "
+                f"(+{delta / base['wall_s'] * 100.0:.1f}%, "
+                f"+{delta:.3f}s)")
+    base_total = baseline["total_wall_s"]
+    cur_total = current["total_wall_s"]
+    delta = cur_total - base_total
+    if delta > base_total * tolerance + floor:
+        failures.append(
+            f"total: {base_total:.3f}s -> {cur_total:.3f}s "
+            f"(+{delta / base_total * 100.0:.1f}%, +{delta:.3f}s)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("baseline", type=pathlib.Path,
+                        help="recorded BENCH_smoke.json baseline")
+    parser.add_argument("current", type=pathlib.Path,
+                        help="BENCH_smoke.json from the run under test")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="relative slowdown allowed (default 0.02)")
+    parser.add_argument("--floor", type=float, default=0.25, metavar="S",
+                        help="absolute seconds of jitter to forgive "
+                             "(default 0.25)")
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if baseline.get("diagnostics") != current.get("diagnostics"):
+        print("[check-overhead] note: runs were recorded with different "
+              f"diagnostics knobs (baseline {baseline.get('diagnostics')}, "
+              f"current {current.get('diagnostics')})")
+    failures = compare(baseline, current, args.tolerance, args.floor)
+    if failures:
+        print("[check-overhead] REGRESSIONS past "
+              f"{args.tolerance * 100.0:.0f}% + {args.floor}s:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"[check-overhead] OK: total {current['total_wall_s']:.3f}s vs "
+          f"baseline {baseline['total_wall_s']:.3f}s "
+          f"(tolerance {args.tolerance * 100.0:.0f}% + {args.floor}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,7 +27,8 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
 from repro.analysis import report  # noqa: E402
 
 
-def run_command(out_dir: pathlib.Path, name: str, argv: list[str]) -> None:
+def run_command(out_dir: pathlib.Path, name: str,
+                argv: list[str]) -> float:
     print(f"[reproduce] {name}: report {' '.join(argv)}")
     begin = time.perf_counter()
     buffer = io.StringIO()
@@ -39,10 +40,12 @@ def run_command(out_dir: pathlib.Path, name: str, argv: list[str]) -> None:
     print(text)
     print(f"[reproduce] {name} done in {elapsed:.1f}s -> "
           f"{out_dir / f'{name}.txt'}\n")
+    return elapsed
 
 
 def run_task_bench(out_dir: pathlib.Path, threads: int = 4,
-                   profile: str = "test") -> list[str]:
+                   profile: str = "test",
+                   ) -> tuple[list[str], list[dict]]:
     """Task-scheduler microbenchmark: qsort and bfs under the metrics
     tool.
 
@@ -51,7 +54,8 @@ def run_task_bench(out_dir: pathlib.Path, threads: int = 4,
     steal/local-hit attribution, and returns a failure for any
     task-count violation: a wrong result, tasks created but never
     executed (or vice versa), executions not attributed as exactly one
-    local hit or steal, or tasks that never completed.
+    local hit or steal, or tasks that never completed.  Also returns
+    one machine-readable record per kernel for ``BENCH_smoke.json``.
     """
     from repro.apps.base import get_app
     from repro.modes import Mode
@@ -60,6 +64,7 @@ def run_task_bench(out_dir: pathlib.Path, threads: int = 4,
 
     failures: list[str] = []
     lines: list[str] = []
+    records: list[dict] = []
     for name in ("qsort", "bfs"):
         spec = get_app(name)
         reference = spec.sequential(**spec.inputs(profile))
@@ -92,6 +97,16 @@ def run_task_bench(out_dir: pathlib.Path, threads: int = 4,
                 f"incomplete={incomplete}")
         lines.append(line)
         print(f"[reproduce] task-bench {line}")
+        records.append({
+            "kernel": f"task-bench/{name}",
+            "wall_s": elapsed,
+            "threads": threads,
+            "mode": "pure",
+            "tasks_created": int(created),
+            "tasks_executed": int(executed),
+            "local_hits": int(local),
+            "steals": int(steals),
+        })
         if not spec.verify(result, reference):
             failures.append(f"task-bench {name}: wrong result")
         if created != executed:
@@ -108,7 +123,35 @@ def run_task_bench(out_dir: pathlib.Path, threads: int = 4,
                 f"task-bench {name}: {incomplete} tasks never completed")
     (out_dir / "task_bench.txt").write_text("\n".join(lines) + "\n",
                                             encoding="utf-8")
-    return failures
+    return failures, records
+
+
+def write_bench_json(out_dir: pathlib.Path, records: list[dict]) -> None:
+    """Write the machine-readable smoke summary ``BENCH_smoke.json``.
+
+    CI uploads this as an artifact and ``benchmarks/check_overhead.py``
+    compares two of them to gate diagnostics overhead at <2%.
+    """
+    import json
+    import os
+    import platform
+
+    payload = {
+        "schema": "omp4py-bench-smoke/1",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        # Overhead comparisons only make sense between runs with the
+        # same diagnostics arming, so record the knobs in the file.
+        "diagnostics": {
+            "OMP4PY_FLIGHT": os.environ.get("OMP4PY_FLIGHT"),
+            "OMP4PY_WATCHDOG": os.environ.get("OMP4PY_WATCHDOG"),
+        },
+        "total_wall_s": sum(r["wall_s"] for r in records),
+        "kernels": records,
+    }
+    path = out_dir / "BENCH_smoke.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"[reproduce] wrote {path}")
 
 
 def run_smoke(out_dir: pathlib.Path) -> None:
@@ -116,7 +159,8 @@ def run_smoke(out_dir: pathlib.Path) -> None:
 
     Uses the ``test`` profile, two thread counts, and a single app per
     sweep so the whole pass stays in CI-budget territory while still
-    driving every figure's harness end to end.
+    driving every figure's harness end to end.  Writes a per-kernel
+    timing summary to ``BENCH_smoke.json`` for the CI overhead gate.
     """
     tiny = ["--profile", "test", "--threads", "1,2", "--repeats", "1"]
     plan = [
@@ -129,20 +173,26 @@ def run_smoke(out_dir: pathlib.Path) -> None:
         ("headline", ["headline", *tiny, "--apps", "pi"]),
     ]
     failures = []
+    records: list[dict] = []
     for name, argv in plan:
         try:
-            run_command(out_dir, name, argv)
+            elapsed = run_command(out_dir, name, argv)
         except Exception as error:  # noqa: BLE001 - smoke verdict
             failures.append(f"{name}: {type(error).__name__}: {error}")
             continue
+        records.append({"kernel": name, "wall_s": elapsed,
+                        "threads": "1,2", "mode": "harness"})
         produced = out_dir / f"{name}.txt"
         if not produced.exists() or not produced.read_text(
                 encoding="utf-8").strip():
             failures.append(f"{name}: produced no output")
     try:
-        failures.extend(run_task_bench(out_dir))
+        task_failures, task_records = run_task_bench(out_dir)
+        failures.extend(task_failures)
+        records.extend(task_records)
     except Exception as error:  # noqa: BLE001 - smoke verdict
         failures.append(f"task-bench: {type(error).__name__}: {error}")
+    write_bench_json(out_dir, records)
     if failures:
         print("[reproduce] SMOKE FAILURES:")
         for failure in failures:
@@ -182,8 +232,8 @@ def main() -> None:
         return
     if args.task_bench:
         threads = int(args.threads.split(",")[-1])
-        failures = run_task_bench(out_dir, threads=threads,
-                                  profile=args.profile)
+        failures, _records = run_task_bench(out_dir, threads=threads,
+                                            profile=args.profile)
         if failures:
             print("[reproduce] TASK-BENCH FAILURES:")
             for failure in failures:

@@ -1,0 +1,44 @@
+"""Seeded fault: classic AB-BA lock inversion between two threads.
+
+Thread 0 takes lock A then wants B; thread 1 takes B then wants A.
+Run it under the doctor and the watchdog names both threads, both
+locks, and the user source lines of the two blocked ``omp_set_lock``
+calls::
+
+    python -m repro.doctor run examples/faults/lock_inversion.py \
+        --watchdog 0.5
+
+Expected doctor verdict: **deadlock** (wait-for cycle
+thread 0 -> lock B -> thread 1 -> lock A -> thread 0), exit code 86.
+"""
+
+import time
+
+from repro import (omp, omp_get_thread_num, omp_init_lock, omp_set_lock,
+                   omp_unset_lock)
+
+
+@omp
+def inversion():
+    lock_a = omp_init_lock()
+    lock_b = omp_init_lock()
+    with omp("parallel num_threads(2)"):
+        if omp_get_thread_num() == 0:
+            omp_set_lock(lock_a)
+            time.sleep(0.2)  # let the peer take the other lock first
+            omp_set_lock(lock_b)  # deadlocks here
+            omp_unset_lock(lock_b)
+            omp_unset_lock(lock_a)
+        else:
+            omp_set_lock(lock_b)
+            time.sleep(0.2)
+            omp_set_lock(lock_a)  # deadlocks here
+            omp_unset_lock(lock_a)
+            omp_unset_lock(lock_b)
+
+
+if __name__ == "__main__":
+    print("acquiring locks in opposite order on two threads...",
+          flush=True)
+    inversion()
+    print("unreachable: the region above deadlocks")

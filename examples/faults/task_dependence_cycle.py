@@ -1,0 +1,50 @@
+"""Seeded fault: a taskwait that can never finish because the task it
+waits for is blocked on a lock the waiting thread holds.
+
+Thread 0 takes a lock, submits task P (whose body needs that lock) and
+task Q (``depend``-ent on P), then taskwaits *without releasing the
+lock*.  Task P is claimed by the other team member and blocks; Q stays
+deferred on P; thread 0 sleeps in the taskwait.  The wait-for graph
+closes two cycles through the same lock::
+
+    thread 0 -(taskwait)-> task P -(running on)-> thread 1
+             -(lock)-> thread 0
+    thread 0 -(taskwait)-> task Q -(dependence)-> task P -> ... -> thread 0
+
+Run it under the doctor::
+
+    python -m repro.doctor run examples/faults/task_dependence_cycle.py \
+        --watchdog 0.5
+
+Expected doctor verdict: **deadlock** (cycle naming both threads, the
+lock, and tasks P and Q), exit code 86.
+"""
+
+import time
+
+from repro import (omp, omp_get_thread_num, omp_init_lock, omp_set_lock,
+                   omp_unset_lock)
+
+
+@omp
+def dependence_cycle():
+    lock = omp_init_lock()
+    payload = [0]
+    with omp("parallel num_threads(2)"):
+        if omp_get_thread_num() == 0:
+            omp_set_lock(lock)
+            with omp("task depend(out: payload)"):  # task P
+                omp_set_lock(lock)  # blocks: thread 0 holds it
+                payload[0] += 1
+                omp_unset_lock(lock)
+            with omp("task depend(in: payload)"):  # task Q, deferred on P
+                payload[0] *= 2
+            time.sleep(0.2)  # let the peer claim P before we taskwait
+            omp("taskwait")  # deadlocks: P needs the lock we hold
+            omp_unset_lock(lock)
+
+
+if __name__ == "__main__":
+    print("taskwaiting on a task that needs our lock...", flush=True)
+    dependence_cycle()
+    print("unreachable: the region above deadlocks")

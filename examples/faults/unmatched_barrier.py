@@ -1,0 +1,34 @@
+"""Seeded fault: a barrier that only one thread reaches.
+
+Thread 0 executes an extra ``omp("barrier")`` the other member never
+matches.  Under generation counting the peer's *implicit join barrier*
+satisfies the extra one, after which thread 0 arrives at the join
+barrier alone — and its peer has already left the region, so that
+barrier can never be released.  (``omplint`` flags the statically
+detectable form of this bug — a barrier nested in ``master``/
+``single`` — as OMP106; hiding it behind a thread-id test like this
+one is only caught at runtime.)
+
+Run it under the doctor::
+
+    python -m repro.doctor run examples/faults/unmatched_barrier.py \
+        --watchdog 0.5
+
+Expected doctor verdict: **deadlock** (unsatisfiable barrier: a
+non-arrived team member already left the region), exit code 86.
+"""
+
+from repro import omp, omp_get_thread_num
+
+
+@omp
+def unmatched():
+    with omp("parallel num_threads(2)"):
+        if omp_get_thread_num() == 0:
+            omp("barrier")  # the peer never executes a matching barrier
+
+
+if __name__ == "__main__":
+    print("entering a barrier only thread 0 reaches...", flush=True)
+    unmatched()
+    print("unreachable: the region above hangs at the join barrier")

@@ -134,6 +134,16 @@ class ChaseLevDeque:
     def __len__(self) -> int:
         return max(0, self._bottom - self._top.load())
 
+    def snapshot(self) -> list:
+        """Advisory copy of the live window, oldest first — read by the
+        stall watchdog to show unclaimed work.  Racy by design: a slot
+        consumed mid-scan is simply skipped, matching the deque's
+        no-lost-nodes (not no-duplicates) guarantee."""
+        top = self._top.load()
+        bottom = self._bottom
+        return [node for index in range(top, bottom)
+                if (node := self._items.get(index)) is not None]
+
 
 class NativeLowLevel:
     """Primitives for the native-simulation runtime."""

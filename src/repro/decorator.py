@@ -30,8 +30,10 @@ def runtime_for(mode: Mode):
 
     When the ``OMP4PY_TRACE`` / ``OMP4PY_METRICS`` environment knobs
     are set, the returned runtime is auto-instrumented on the way out
-    (see :mod:`repro.ompt.auto`); unset knobs cost two environment
-    reads, nothing more.
+    (see :mod:`repro.ompt.auto`); likewise ``OMP4PY_FLIGHT`` /
+    ``OMP4PY_WATCHDOG`` arm the hang diagnostics
+    (:mod:`repro.diagnostics.auto`).  Unset knobs cost a few
+    environment reads, nothing more.
     """
     if mode is Mode.PURE:
         from repro.runtime import pure_runtime
@@ -43,6 +45,9 @@ def runtime_for(mode: Mode):
     if env.trace_spec() is not None or env.metrics_spec() is not None:
         from repro.ompt.auto import auto_instrument
         auto_instrument(runtime)
+    if env.flight_spec() is not None or env.watchdog_spec() is not None:
+        from repro.diagnostics.auto import auto_diagnose
+        auto_diagnose(runtime)
     return runtime
 
 
@@ -136,6 +141,19 @@ def transform(target, mode: Mode | str | int | None = None, *,
         filename=f"<omp4py:{getattr(target, '__qualname__', node.name)}>",
         module_name=getattr(target, "__module__", "__main__"))
 
+    # The generated code object keeps the (dedented) original linenos,
+    # so mapping a runtime frame back to the user's file only needs the
+    # source file and the def's first line (see repro.diagnostics.origin).
+    origin = None
+    try:
+        origin = (inspect.getsourcefile(target) or "<unknown>",
+                  inspect.getsourcelines(target)[1])
+    except (TypeError, OSError):  # pragma: no cover - source vanished
+        pass
+    if origin is not None:
+        from repro.diagnostics.origin import register_origin
+        register_origin(ctx.filename, *origin)
+
     if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
         transform_function_def(node, ctx)
     else:
@@ -182,6 +200,7 @@ def transform(target, mode: Mode | str | int | None = None, *,
     try:
         result.__omp_mode__ = mode
         result.__omp_source__ = generated
+        result.__omp_origin__ = origin
     except (AttributeError, TypeError):  # pragma: no cover - exotic targets
         pass
     return result

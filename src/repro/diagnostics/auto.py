@@ -1,0 +1,169 @@
+"""Environment-driven arming of the diagnostics subsystem
+(``OMP4PY_FLIGHT`` / ``OMP4PY_WATCHDOG``) and the SIGUSR1 dump.
+
+Like :mod:`repro.ompt.auto`, this is invoked by the ``@omp`` decorator
+when it binds a runtime; unset knobs cost two environment reads.
+Arming is idempotent per runtime and reversible with :func:`disarm`
+(tests manage their own watchdogs).
+
+``kill -USR1 <pid>`` on an armed process writes the flight-recorder
+tails and the current wait-for diagnosis to stderr without stopping
+the process.  The handler runs on the main thread, which the runtime's
+bounded-backoff waits guarantee wakes regularly even while blocked —
+so the dump works on a process that is already deadlocked.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import signal
+import sys
+import threading
+
+from repro import env
+from repro.diagnostics.flight import FlightRecorder
+from repro.diagnostics.state import DiagnosticsState
+from repro.diagnostics.watchdog import Watchdog, build_report
+from repro.diagnostics.waitgraph import build_wait_graph
+
+#: id(runtime) -> (runtime, FlightRecorder | None, Watchdog | None).
+_active: dict[int, tuple] = {}
+_signal_installed = False
+
+
+def arm(runtime, *, flight_capacity: int | None = None,
+        watchdog_interval: float | None = None,
+        report_path: str | None = None,
+        exit_on_deadlock: bool = False,
+        flight: bool = True) -> tuple:
+    """Arm diagnostics programmatically; returns
+    ``(flight_recorder, watchdog)`` (either may be ``None``)."""
+    entry = _active.get(id(runtime))
+    if entry is not None:
+        return entry[1], entry[2]
+    if runtime.diag is None:
+        runtime.diag = DiagnosticsState()
+    recorder = None
+    if flight:
+        recorder = (FlightRecorder(flight_capacity)
+                    if flight_capacity else FlightRecorder())
+        runtime.attach_tool(recorder)
+    watchdog = None
+    if watchdog_interval is not None:
+        watchdog = Watchdog(runtime, watchdog_interval,
+                            report_path=report_path,
+                            exit_on_deadlock=exit_on_deadlock,
+                            flight=recorder)
+        watchdog.start()
+    _active[id(runtime)] = (runtime, recorder, watchdog)
+    return recorder, watchdog
+
+
+def disarm(runtime) -> None:
+    """Undo :func:`arm`/:func:`auto_diagnose` for one runtime."""
+    entry = _active.pop(id(runtime), None)
+    if entry is None:
+        return
+    _runtime, recorder, watchdog = entry
+    if watchdog is not None:
+        watchdog.stop()
+    if recorder is not None:
+        runtime.detach_tool(recorder)
+    runtime.diag = None
+
+
+def active_entry(runtime):
+    """The ``(flight, watchdog)`` pair armed for ``runtime``, if any."""
+    entry = _active.get(id(runtime))
+    return (entry[1], entry[2]) if entry else None
+
+
+def auto_diagnose(runtime) -> None:
+    """Honour the env knobs for ``runtime`` (no-op when both are off)."""
+    flight_spec = env.flight_spec()
+    watchdog_spec = env.watchdog_spec()
+    if flight_spec is None and watchdog_spec is None:
+        return
+    if id(runtime) in _active:
+        return
+    if runtime.diag is None:
+        runtime.diag = DiagnosticsState()
+    recorder = None
+    if flight_spec is not None:
+        recorder = FlightRecorder(flight_spec.capacity)
+        runtime.attach_tool(recorder)
+        if flight_spec.path:
+            atexit.register(_write_flight, recorder, flight_spec.path)
+    watchdog = None
+    if watchdog_spec is not None:
+        watchdog = Watchdog(runtime, watchdog_spec.interval,
+                            report_path=watchdog_spec.path,
+                            exit_on_deadlock=watchdog_spec.exit_on_deadlock,
+                            flight=recorder)
+        watchdog.start()
+    _active[id(runtime)] = (runtime, recorder, watchdog)
+    install_signal_dump()
+
+
+def dump_diagnosis(runtime, stream=None, reason: str = "dump") -> dict:
+    """One-shot diagnosis of a runtime's current state (SIGUSR1 body,
+    also used by ``repro.doctor``)."""
+    stream = stream if stream is not None else sys.stderr
+    diag = runtime.diag
+    entry = _active.get(id(runtime))
+    recorder = entry[1] if entry else None
+    if diag is None:
+        report = {"schema": "omp4py-doctor-report/1", "reason": reason,
+                  "runtime": runtime.name, "verdict": "unarmed",
+                  "threads": [], "cycles": [], "unsatisfiable": []}
+        if recorder is not None:
+            report["flight"] = recorder.dump(tail=16)
+        print(json.dumps(report, indent=2), file=stream)
+        return report
+    snapshot = diag.snapshot()
+    graph = build_wait_graph(snapshot)
+    report = build_report(runtime, snapshot, graph, flight=recorder,
+                          reason=reason)
+    from repro.diagnostics.watchdog import format_report
+    print(format_report(report), file=stream, flush=True)
+    return report
+
+
+def install_signal_dump() -> bool:
+    """Install the SIGUSR1 dump handler (main thread only; idempotent).
+
+    Returns ``True`` when the handler is in place.
+    """
+    global _signal_installed
+    if _signal_installed:
+        return True
+    if threading.current_thread() is not threading.main_thread():
+        return False
+    if not hasattr(signal, "SIGUSR1"):  # pragma: no cover - windows
+        return False
+    try:
+        signal.signal(signal.SIGUSR1, _on_sigusr1)
+    except ValueError:  # pragma: no cover - exotic embedding
+        return False
+    _signal_installed = True
+    return True
+
+
+def _on_sigusr1(_signum, _frame) -> None:
+    for runtime, recorder, _watchdog in list(_active.values()):
+        print(f"omp4py: SIGUSR1 dump for runtime {runtime.name}",
+              file=sys.stderr)
+        if recorder is not None:
+            print(recorder.format_text(), file=sys.stderr)
+        dump_diagnosis(runtime, reason="sigusr1")
+
+
+def _write_flight(recorder: FlightRecorder, path: str) -> None:
+    try:
+        with open(path, "w", encoding="utf-8") as out:
+            json.dump({"schema": "omp4py-flight/1",
+                       "threads": recorder.dump()}, out, indent=2)
+    except OSError as error:  # pragma: no cover - exit-time best effort
+        print(f"omp4py: cannot write flight record to {path}: {error}",
+              file=sys.stderr)

@@ -1,0 +1,59 @@
+"""ICV / environment snapshots shared by ``omp_display_env``, the
+watchdog report, and the ``repro.doctor`` CLI.
+
+``omp_display_env`` used to format its output ad hoc inside the engine;
+building the snapshot here means the exact same ICV view appears in
+every diagnostic surface, and tools get it as structured data instead
+of scraping stdout.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: ``OMP4PY_*`` knobs worth echoing in verbose/diagnostic output.
+_DIAG_KNOBS = ("OMP4PY_TRACE", "OMP4PY_METRICS", "OMP4PY_FLIGHT",
+               "OMP4PY_WATCHDOG", "OMP4PY_MODE", "OMP4PY_LINT")
+
+
+def icv_snapshot(runtime, verbose: bool = False) -> dict:
+    """The runtime's current ICVs in ``OMP_DISPLAY_ENV`` key order.
+
+    Values are plain strings; ``runtime`` metadata lives under the
+    ``OMP4PY_*`` keys so JSON consumers never have to parse comments.
+    """
+    kind, chunk = runtime.get_schedule()
+    schedule = kind.upper() + (f",{chunk}" if chunk else "")
+    snapshot = {
+        "_OPENMP": "200805",
+        "OMP_NUM_THREADS": str(runtime.current_frame().nthreads_var),
+        "OMP_SCHEDULE": schedule,
+        "OMP_DYNAMIC": str(runtime.get_dynamic()).upper(),
+        "OMP_NESTED": str(runtime.get_nested()).upper(),
+        "OMP_THREAD_LIMIT": str(runtime.get_thread_limit()),
+        "OMP_MAX_ACTIVE_LEVELS": str(runtime.get_max_active_levels()),
+    }
+    if verbose:
+        snapshot["OMP4PY_RUNTIME"] = runtime.name
+        snapshot["OMP4PY_NUM_PROCS"] = str(runtime.get_num_procs())
+        for knob in _DIAG_KNOBS:
+            value = os.environ.get(knob)
+            if value is not None:
+                snapshot[knob] = value
+    return snapshot
+
+
+def format_display_env(snapshot: dict, runtime_name: str = "") -> str:
+    """The OpenMP ``OMP_DISPLAY_ENV`` block for a snapshot.
+
+    ``runtime_name`` reproduces the spec-version comment the native
+    runtimes print next to ``_OPENMP``.
+    """
+    lines = ["OPENMP DISPLAY ENVIRONMENT BEGIN"]
+    for key, value in snapshot.items():
+        line = f"  {key} = '{value}'"
+        if key == "_OPENMP" and runtime_name:
+            line += f"  # 3.0 ({runtime_name})"
+        lines.append(line)
+    lines.append("OPENMP DISPLAY ENVIRONMENT END")
+    return "\n".join(lines)

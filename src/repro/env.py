@@ -13,11 +13,18 @@ Two families of variables are honoured, mirroring the paper:
   ``OMP4PY_FORCE``, ``OMP4PY_MODE``, ``OMP4PY_LINT``), plus the
   observability knobs ``OMP4PY_TRACE`` and ``OMP4PY_METRICS`` that
   auto-instrument every runtime bound by the ``@omp`` decorator (see
-  :mod:`repro.ompt.auto` and docs/observability.md).
+  :mod:`repro.ompt.auto` and docs/observability.md), and the hang
+  diagnostics knobs ``OMP4PY_FLIGHT`` (flight recorder: truthy,
+  a ring capacity, an output path, or ``capacity:path``),
+  ``OMP4PY_WATCHDOG`` (stall watchdog: truthy for the default
+  interval, an interval in seconds, or ``interval:report-path``) and
+  ``OMP4PY_WATCHDOG_EXIT`` (terminate with the doctor exit code on a
+  deadlock verdict — see :mod:`repro.diagnostics.auto`).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 
 from repro.errors import OmpError
@@ -135,6 +142,80 @@ def trace_spec() -> str | None:
 def metrics_spec() -> str | None:
     """``OMP4PY_METRICS``: ``None`` / ``"1"`` / an output path."""
     return _observability_spec("OMP4PY_METRICS")
+
+
+@dataclasses.dataclass(frozen=True)
+class FlightSpec:
+    """Parsed ``OMP4PY_FLIGHT``: ring capacity and optional dump path."""
+
+    capacity: int = 256
+    path: str | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class WatchdogSpec:
+    """Parsed ``OMP4PY_WATCHDOG`` (+ ``OMP4PY_WATCHDOG_EXIT``)."""
+
+    interval: float = 5.0
+    path: str | None = None
+    exit_on_deadlock: bool = False
+
+
+def flight_spec() -> FlightSpec | None:
+    """``OMP4PY_FLIGHT``: ``None`` when off, else capacity and path.
+
+    Accepted forms: a true/false string, a ring capacity (``512``), a
+    dump path (``flight.json``), or ``capacity:path``.
+    """
+    raw = os.environ.get("OMP4PY_FLIGHT")
+    if raw is None:
+        return None
+    value = raw.strip()
+    if not value or value.lower() in _FALSE_STRINGS:
+        return None
+    if value.lower() in _TRUE_STRINGS:
+        return FlightSpec()
+    head, _sep, tail = value.partition(":")
+    try:
+        capacity = int(head)
+    except ValueError:
+        return FlightSpec(path=value)
+    if capacity <= 0:
+        raise OmpError(f"OMP4PY_FLIGHT capacity must be positive, "
+                       f"got {capacity}")
+    return FlightSpec(capacity=capacity, path=tail or None)
+
+
+def watchdog_spec() -> WatchdogSpec | None:
+    """``OMP4PY_WATCHDOG``: ``None`` when off, else interval/path/exit.
+
+    Accepted forms: a true/false string (default 5 s interval), an
+    interval in seconds (``0.5``), or ``interval:report-path``.  A
+    truthy ``OMP4PY_WATCHDOG_EXIT`` makes a deadlock verdict terminate
+    the process with :data:`repro.diagnostics.watchdog.DEADLOCK_EXIT_CODE`.
+    """
+    raw = os.environ.get("OMP4PY_WATCHDOG")
+    if raw is None:
+        return None
+    value = raw.strip()
+    if not value or value.lower() in _FALSE_STRINGS:
+        return None
+    exit_raw = os.environ.get("OMP4PY_WATCHDOG_EXIT")
+    exit_on_deadlock = bool(
+        exit_raw) and _parse_bool("OMP4PY_WATCHDOG_EXIT", exit_raw)
+    if value.lower() in _TRUE_STRINGS:
+        return WatchdogSpec(exit_on_deadlock=exit_on_deadlock)
+    head, _sep, tail = value.partition(":")
+    try:
+        interval = float(head)
+    except ValueError:
+        raise OmpError(f"OMP4PY_WATCHDOG must be an interval in seconds "
+                       f"(optionally ':report-path'), got {raw!r}") from None
+    if interval <= 0:
+        raise OmpError(f"OMP4PY_WATCHDOG interval must be positive, "
+                       f"got {interval}")
+    return WatchdogSpec(interval=interval, path=tail or None,
+                        exit_on_deadlock=exit_on_deadlock)
 
 
 def decorator_default(name: str, fallback):

@@ -10,6 +10,11 @@ Prometheus text, and the structured JSON report
 (:mod:`repro.ompt.auto`), and the ``python -m repro.profile`` CLI
 (:mod:`repro.ompt.cli`).
 
+The hang-diagnosis subsystem (:mod:`repro.diagnostics`) plugs into the
+same callback surface: its :class:`FlightRecorder` is a
+:class:`ToolHooks` tool (re-exported here), and ``python -m
+repro.doctor`` is its CLI.
+
 Quickstart::
 
     from repro.cruntime import cruntime
@@ -35,8 +40,17 @@ from repro.ompt.hooks import CALLBACK_NAMES, ToolDispatcher, ToolHooks
 from repro.ompt.metrics import (Counter, Gauge, Histogram,
                                 MetricsRegistry, MetricsTool)
 
-__all__ = ["CALLBACK_NAMES", "Counter", "Gauge", "Histogram",
-           "MetricsRegistry", "MetricsTool", "ToolDispatcher",
-           "ToolHooks", "chrome_trace", "chrome_trace_events",
-           "metrics_report", "prometheus_text", "validate_chrome_trace",
-           "write_chrome_trace"]
+__all__ = ["CALLBACK_NAMES", "Counter", "FlightRecorder", "Gauge",
+           "Histogram", "MetricsRegistry", "MetricsTool",
+           "ToolDispatcher", "ToolHooks", "chrome_trace",
+           "chrome_trace_events", "metrics_report", "prometheus_text",
+           "validate_chrome_trace", "write_chrome_trace"]
+
+
+def __getattr__(name: str):
+    # Lazy: repro.diagnostics.flight subclasses ToolHooks from this
+    # package, so a top-level import here would be circular.
+    if name == "FlightRecorder":
+        from repro.diagnostics.flight import FlightRecorder
+        return FlightRecorder
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -77,6 +77,12 @@ class OmpRuntime:
         #: same disabled-cost discipline as the tracer.
         self.tool = None
         self._tools: list = []
+        #: Hang-diagnosis state (:mod:`repro.diagnostics.state`):
+        #: ``None`` when disarmed.  Every event-driven wait site reads
+        #: this one attribute and, when armed, records what it is about
+        #: to block on — the raw material of the watchdog's wait-for
+        #: graph.
+        self.diag = None
 
     # ------------------------------------------------------------------
     # Tool interface (see :mod:`repro.ompt`)
@@ -143,6 +149,9 @@ class OmpRuntime:
         tool = self.tool
         if tool is not None:
             tool.parallel_begin(frame.thread_num, size)
+        diag = self.diag
+        if diag is not None:
+            diag.team_begin(team)
         copyin_values = [(key, self._tp_dict().get(key, _TP_MISSING))
                          for key in copyin]
 
@@ -152,6 +161,8 @@ class OmpRuntime:
                                    frame.nthreads_var))
             if tool is not None:
                 tool.implicit_task(index, "begin", size)
+            if diag is not None:
+                diag.thread_enter(team, index)
             begin = time.thread_time()
             try:
                 for key, value in copyin_values:
@@ -165,6 +176,10 @@ class OmpRuntime:
                     team.barrier.wait(self._run_one_task, index)
                 except BaseException as error:  # noqa: BLE001
                     team.record_error(index, error)
+                if diag is not None:
+                    # Past the join barrier: a member that left can
+                    # never arrive at any further barrier of this team.
+                    diag.thread_exit(team, index)
                 team.cpu_times[index] = time.thread_time() - begin
                 if tool is not None:
                     tool.implicit_task(index, "end", size)
@@ -180,6 +195,8 @@ class OmpRuntime:
             worker.join()
         if self.tracer.enabled:
             self.tracer.record("region_join", frame.thread_num, size)
+        if diag is not None:
+            diag.team_end(team)
         if tool is not None:
             tool.parallel_end(frame.thread_num, size)
         if team.level == 1:
@@ -332,12 +349,21 @@ class OmpRuntime:
     def critical_enter(self, name: str = "") -> None:
         lock = self._critical_lock(name)
         tool = self.tool
-        if tool is None:
+        diag = self.diag
+        if diag is not None:
+            self._acquire_diagnosed(lock, tool, diag, "critical", name,
+                                    ("critical", name))
+        elif tool is None:
             lock.acquire()
         else:
             self._acquire_instrumented(lock, tool, "critical", name)
 
     def critical_exit(self, name: str = "") -> None:
+        diag = self.diag
+        if diag is not None:
+            # Disowned before the unlock so a racing acquirer's
+            # ownership write can never be clobbered by this release.
+            diag.resource_released(("critical", name))
         self._critical_lock(name).release()
         tool = self.tool
         if tool is not None:
@@ -358,6 +384,32 @@ class OmpRuntime:
         tool.mutex_acquired(thread, kind, handle,
                             time.perf_counter() - begin)
 
+    def _acquire_diagnosed(self, lock, tool, diag, kind: str, handle,
+                           key) -> None:
+        """Acquire ``lock`` recording a block record while contended and
+        ownership once held (the diagnostics twin of
+        :meth:`_acquire_instrumented`; dispatches tool hooks too)."""
+        thread = self.get_thread_num()
+        if lock.acquire(blocking=False):
+            if tool is not None:
+                tool.mutex_acquired(thread, kind, handle, 0.0)
+            diag.resource_acquired(key)
+            return
+        if tool is not None:
+            tool.mutex_acquire(thread, kind, handle)
+        begin = time.perf_counter()
+        record = diag.block_enter(kind, key, thread_num=thread,
+                                  detail=str(handle))
+        record.sleeping = True
+        try:
+            lock.acquire()
+        finally:
+            diag.block_exit()
+        diag.resource_acquired(key)
+        if tool is not None:
+            tool.mutex_acquired(thread, kind, handle,
+                                time.perf_counter() - begin)
+
     def _critical_lock(self, name: str):
         lock = self._criticals.get(name)
         if lock is None:
@@ -368,13 +420,21 @@ class OmpRuntime:
 
     def atomic_enter(self) -> None:
         tool = self.tool
-        if tool is None:
+        diag = self.diag
+        if diag is not None:
+            self._acquire_diagnosed(self._atomic_mutex, tool, diag,
+                                    "atomic", "atomic",
+                                    ("atomic", id(self)))
+        elif tool is None:
             self._atomic_mutex.acquire()
         else:
             self._acquire_instrumented(self._atomic_mutex, tool,
                                        "atomic", "atomic")
 
     def atomic_exit(self) -> None:
+        diag = self.diag
+        if diag is not None:
+            diag.resource_released(("atomic", id(self)))
         self._atomic_mutex.release()
         tool = self.tool
         if tool is not None:
@@ -422,18 +482,32 @@ class OmpRuntime:
             # team tasks instead of blocking — which also keeps a
             # single-thread team live when the predecessor is still
             # sitting unclaimed in a deque.
+            diag = self.diag
             for predecessor in predecessors:
                 backoff = BACKOFF_MIN
-                while not predecessor.done:
-                    if team.broken:
-                        return
-                    if self._run_one_task(team, frame.thread_num):
-                        backoff = BACKOFF_MIN
-                        continue
-                    # Backoff fallback: completion sets the event, so
-                    # the timeout only bounds breakage detection.
-                    predecessor.event.wait(timeout=backoff)
-                    backoff = next_backoff(backoff)
+                record = None
+                if diag is not None and not predecessor.done:
+                    record = diag.block_enter(
+                        "dependence", id(predecessor), team=team,
+                        thread_num=frame.thread_num, detail=predecessor)
+                try:
+                    while not predecessor.done:
+                        if team.broken:
+                            return
+                        if self._run_one_task(team, frame.thread_num):
+                            backoff = BACKOFF_MIN
+                            continue
+                        # Backoff fallback: completion sets the event,
+                        # so the timeout only bounds breakage detection.
+                        if record is not None:
+                            record.sleeping = True
+                        predecessor.event.wait(timeout=backoff)
+                        if record is not None:
+                            record.sleeping = False
+                        backoff = next_backoff(backoff)
+                finally:
+                    if record is not None:
+                        diag.block_exit()
             team.pending.fetch_add(1)
             frame.children.append(node)
             node.claim()
@@ -444,6 +518,11 @@ class OmpRuntime:
         if predecessors:
             from repro.runtime.tasking import WAITING
             node.state.store(WAITING)
+            diag = self.diag
+            if diag is not None:
+                # Registered before add_successor so a predecessor
+                # finishing concurrently releases an already-known task.
+                diag.task_deferred(node, predecessors)
             # +1 keeps the count from reaching zero before this thread
             # finishes registering with every predecessor.
             node.deps_remaining.store(len(predecessors) + 1)
@@ -462,6 +541,9 @@ class OmpRuntime:
         waiters (the push must be visible before the poke)."""
         from repro.runtime.tasking import FREE, WAITING
         node.state.compare_exchange(WAITING, FREE)
+        diag = self.diag
+        if diag is not None:
+            diag.task_released(node)
         node.team.scheduler.push(thread_num, node)
         node.team.barrier.poke()
 
@@ -499,29 +581,45 @@ class OmpRuntime:
         if tool is not None:
             tool.sync_region(frame.thread_num, "taskwait", "enter", None)
             begin = time.perf_counter()
+        diag = self.diag
+        record = None
         backoff = BACKOFF_MIN
-        while not team.broken:
-            incomplete = [c for c in frame.children if not c.done]
-            if not incomplete:
-                break
-            progressed = False
-            for child in incomplete:
-                if child.claim():
-                    self._execute_task_node(child)
-                    progressed = True
-            if progressed:
-                backoff = BACKOFF_MIN
-                continue
-            # Children are running elsewhere or waiting on dependences:
-            # a taskwait is a scheduling point, so help with any team
-            # task before sleeping on a child's completion event.  The
-            # timeout is the bounded-backoff safety net (breakage, or a
-            # child released onto another thread's deque mid-sleep).
-            if self._run_one_task(team, frame.thread_num):
-                backoff = BACKOFF_MIN
-                continue
-            incomplete[0].event.wait(timeout=backoff)
-            backoff = next_backoff(backoff)
+        try:
+            while not team.broken:
+                incomplete = [c for c in frame.children if not c.done]
+                if not incomplete:
+                    break
+                progressed = False
+                for child in incomplete:
+                    if child.claim():
+                        self._execute_task_node(child)
+                        progressed = True
+                if progressed:
+                    backoff = BACKOFF_MIN
+                    continue
+                # Children are running elsewhere or waiting on
+                # dependences: a taskwait is a scheduling point, so help
+                # with any team task before sleeping on a child's
+                # completion event.  The timeout is the bounded-backoff
+                # safety net (breakage, or a child released onto another
+                # thread's deque mid-sleep).
+                if self._run_one_task(team, frame.thread_num):
+                    backoff = BACKOFF_MIN
+                    continue
+                if diag is not None:
+                    if record is None:
+                        record = diag.block_enter(
+                            "taskwait", id(frame), team=team,
+                            thread_num=frame.thread_num)
+                    record.detail = tuple(incomplete)
+                    record.sleeping = True
+                incomplete[0].event.wait(timeout=backoff)
+                if record is not None:
+                    record.sleeping = False
+                backoff = next_backoff(backoff)
+        finally:
+            if record is not None:
+                diag.block_exit()
         if tool is not None:
             tool.sync_region(frame.thread_num, "taskwait", "release",
                              time.perf_counter() - begin)
@@ -580,6 +678,9 @@ class OmpRuntime:
         tool = self.tool
         if tool is not None:
             tool.task_schedule(frame.thread_num, id(node))
+        diag = self.diag
+        if diag is not None:
+            diag.task_started(node)
         try:
             node.fn()
         except BaseException as error:  # noqa: BLE001 - raised at join
@@ -589,6 +690,8 @@ class OmpRuntime:
             if self.tracer.enabled:
                 self.tracer.record("task_finish", frame.thread_num,
                                    id(node))
+            if diag is not None:
+                diag.task_finished(node)
             ready = node.finish()
             node.team.pending.fetch_add(-1)
             for successor in ready:
@@ -713,26 +816,18 @@ class OmpRuntime:
         return frame.team.size
 
     def display_env(self, verbose: bool = False) -> None:
-        """Print the ICVs in the OpenMP ``OMP_DISPLAY_ENV`` format."""
+        """Print the ICVs in the OpenMP ``OMP_DISPLAY_ENV`` format.
+
+        The snapshot comes from :mod:`repro.diagnostics.envreport`, the
+        same source the watchdog reports and ``repro.doctor env`` use,
+        so every diagnostic surface shows one consistent ICV view.
+        """
         import sys as _sys
-        out = _sys.stderr
-        kind, chunk = self._run_sched
-        schedule = kind.upper() + (f",{chunk}" if chunk else "")
-        print("OPENMP DISPLAY ENVIRONMENT BEGIN", file=out)
-        print(f"  _OPENMP = '200805'  # 3.0 ({self.name})", file=out)
-        print(f"  OMP_NUM_THREADS = "
-              f"'{self.current_frame().nthreads_var}'", file=out)
-        print(f"  OMP_SCHEDULE = '{schedule}'", file=out)
-        print(f"  OMP_DYNAMIC = '{str(self._dyn).upper()}'", file=out)
-        print(f"  OMP_NESTED = '{str(self._nest).upper()}'", file=out)
-        print(f"  OMP_THREAD_LIMIT = '{self._thread_limit}'", file=out)
-        print(f"  OMP_MAX_ACTIVE_LEVELS = '{self._max_active_levels}'",
-              file=out)
-        if verbose:
-            print(f"  OMP4PY_RUNTIME = '{self.name}'", file=out)
-            print(f"  OMP4PY_NUM_PROCS = '{self.get_num_procs()}'",
-                  file=out)
-        print("OPENMP DISPLAY ENVIRONMENT END", file=out)
+        from repro.diagnostics.envreport import (format_display_env,
+                                                 icv_snapshot)
+        snapshot = icv_snapshot(self, verbose=verbose)
+        print(format_display_env(snapshot, runtime_name=self.name),
+              file=_sys.stderr)
 
     @staticmethod
     def get_wtime() -> float:

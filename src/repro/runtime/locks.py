@@ -23,6 +23,10 @@ def _tool_of(runtime):
     return runtime.tool if runtime is not None else None
 
 
+def _diag_of(runtime):
+    return runtime.diag if runtime is not None else None
+
+
 class OmpLock:
     """A simple OpenMP lock."""
 
@@ -40,21 +44,40 @@ class OmpLock:
     def set(self) -> None:
         self._check()
         tool = _tool_of(self._runtime)
-        if tool is None:
+        diag = _diag_of(self._runtime)
+        if tool is None and diag is None:
             self._lock.acquire()
             return
         thread = self._runtime.get_thread_num()
         if self._lock.acquire(blocking=False):
-            tool.mutex_acquired(thread, "lock", id(self), 0.0)
+            if tool is not None:
+                tool.mutex_acquired(thread, "lock", id(self), 0.0)
+            if diag is not None:
+                diag.resource_acquired(id(self))
             return
-        tool.mutex_acquire(thread, "lock", id(self))
+        if tool is not None:
+            tool.mutex_acquire(thread, "lock", id(self))
         begin = time.perf_counter()
-        self._lock.acquire()
-        tool.mutex_acquired(thread, "lock", id(self),
-                            time.perf_counter() - begin)
+        if diag is not None:
+            record = diag.block_enter("lock", id(self),
+                                      thread_num=thread)
+            record.sleeping = True
+            try:
+                self._lock.acquire()
+            finally:
+                diag.block_exit()
+            diag.resource_acquired(id(self))
+        else:
+            self._lock.acquire()
+        if tool is not None:
+            tool.mutex_acquired(thread, "lock", id(self),
+                                time.perf_counter() - begin)
 
     def unset(self) -> None:
         self._check()
+        diag = _diag_of(self._runtime)
+        if diag is not None:
+            diag.resource_released(id(self))
         self._lock.release()
         tool = _tool_of(self._runtime)
         if tool is not None:
@@ -69,6 +92,9 @@ class OmpLock:
             if tool is not None:
                 tool.mutex_acquired(self._runtime.get_thread_num(),
                                     "lock", id(self), 0.0)
+            diag = _diag_of(self._runtime)
+            if diag is not None:
+                diag.resource_acquired(id(self))
         return acquired
 
     def destroy(self) -> None:
@@ -108,16 +134,28 @@ class OmpNestLock:
                 self._dispatch_acquired(0.0)
                 return
         tool = _tool_of(self._runtime)
-        if tool is None:
+        diag = _diag_of(self._runtime)
+        if tool is None and diag is None:
             self._lock.acquire()
         elif not self._lock.acquire(blocking=False):
-            tool.mutex_acquire(self._runtime.get_thread_num(),
-                               "nest_lock", id(self))
+            if tool is not None:
+                tool.mutex_acquire(self._runtime.get_thread_num(),
+                                   "nest_lock", id(self))
             begin = time.perf_counter()
-            self._lock.acquire()
+            if diag is not None:
+                record = diag.block_enter("nest_lock", id(self))
+                record.sleeping = True
+                try:
+                    self._lock.acquire()
+                finally:
+                    diag.block_exit()
+            else:
+                self._lock.acquire()
             self._dispatch_acquired(time.perf_counter() - begin)
         else:
             self._dispatch_acquired(0.0)
+        if diag is not None:
+            diag.resource_acquired(id(self))
         with self._guard:
             self._owner = me
             self._count = 1
@@ -132,6 +170,9 @@ class OmpNestLock:
             self._count -= 1
             if self._count == 0:
                 self._owner = None
+                diag = _diag_of(self._runtime)
+                if diag is not None:
+                    diag.resource_released(id(self))
                 self._lock.release()
                 tool = _tool_of(self._runtime)
                 if tool is not None:
@@ -151,6 +192,9 @@ class OmpNestLock:
             with self._guard:
                 self._owner = me
                 self._count = 1
+            diag = _diag_of(self._runtime)
+            if diag is not None:
+                diag.resource_acquired(id(self))
             self._dispatch_acquired(0.0)
             return 1
         return 0

@@ -99,6 +99,13 @@ class MutexDeque:
     def __len__(self) -> int:
         return len(self._items)
 
+    def snapshot(self) -> list:
+        """Advisory copy of the queued nodes, oldest (steal end) first —
+        read by the stall watchdog to show unclaimed work; never part of
+        the owner/thief protocol."""
+        with self._lock:
+            return list(self._items)
+
 
 class PureLowLevel:
     """Mutex-based primitives for the pure-Python ``runtime``."""

@@ -147,3 +147,11 @@ class WorkStealingScheduler:
             if deque_:
                 return True
         return False
+
+    def snapshot(self) -> dict[int, list]:
+        """Advisory per-thread view of the queued (unclaimed) nodes —
+        the stall watchdog includes it so a report can distinguish
+        "work exists but nobody picks it up" from "no work anywhere"."""
+        return {thread_num: deque_.snapshot()
+                for thread_num, deque_ in enumerate(self.deques)
+                if deque_}

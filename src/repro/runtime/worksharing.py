@@ -202,20 +202,41 @@ def ordered_start(bounds, linear_index: int) -> None:
     if slot is None:
         raise OmpRuntimeError(
             "ordered region requires a loop with the ordered clause")
+    team = info.team
+    diag = team.runtime.diag if team is not None else None
+    record = None
     with slot.ordered_cond:
         backoff = BACKOFF_MIN
-        while slot.ordered_next != linear_index:
-            if info.team is not None and info.team.broken:
-                return  # a peer died; the region is being torn down
-            # ordered_end notifies the condition; the timeout is the
-            # bounded-backoff breakage check only (record_error cannot
-            # reach per-slot condition variables).
-            slot.ordered_cond.wait(timeout=backoff)
-            backoff = next_backoff(backoff)
+        try:
+            while slot.ordered_next != linear_index:
+                if team is not None and team.broken:
+                    return  # a peer died; the region is being torn down
+                if diag is not None and record is None:
+                    record = diag.block_enter(
+                        "ordered", id(slot), team=team,
+                        thread_num=info.thread_num, detail=linear_index)
+                # ordered_end notifies the condition; the timeout is the
+                # bounded-backoff breakage check only (record_error
+                # cannot reach per-slot condition variables).
+                if record is not None:
+                    record.sleeping = True
+                slot.ordered_cond.wait(timeout=backoff)
+                if record is not None:
+                    record.sleeping = False
+                backoff = next_backoff(backoff)
+        finally:
+            if record is not None:
+                diag.block_exit()
+    if diag is not None:
+        diag.resource_acquired(("ordered", id(slot)))
 
 
 def ordered_end(bounds, linear_index: int) -> None:
-    slot: LoopSlot = bounds[2].slot
+    info: LoopInfo = bounds[2]
+    slot: LoopSlot = info.slot
+    diag = (info.team.runtime.diag if info.team is not None else None)
+    if diag is not None:
+        diag.resource_released(("ordered", id(slot)))
     with slot.ordered_cond:
         slot.ordered_next = linear_index + 1
         slot.ordered_cond.notify_all()
@@ -340,11 +361,23 @@ def copyprivate_set(state: SectionsState, payload) -> None:
 
 
 def copyprivate_get(state: SectionsState):
-    backoff = BACKOFF_MIN
-    # copyprivate_set sets the event; the timeout is the bounded-backoff
-    # breakage check only (the publisher may have died without setting).
-    while not state.slot.payload_event.wait(timeout=backoff):
-        if state.team is not None and state.team.broken:
-            return None  # the publishing thread died
-        backoff = next_backoff(backoff)
-    return state.slot.payload
+    team = state.team
+    diag = team.runtime.diag if team is not None else None
+    record = None
+    if diag is not None and not state.slot.payload_event.is_set():
+        record = diag.block_enter("copyprivate", id(state.slot),
+                                  team=team)
+        record.sleeping = True
+    try:
+        backoff = BACKOFF_MIN
+        # copyprivate_set sets the event; the timeout is the
+        # bounded-backoff breakage check only (the publisher may have
+        # died without setting).
+        while not state.slot.payload_event.wait(timeout=backoff):
+            if team is not None and team.broken:
+                return None  # the publishing thread died
+            backoff = next_backoff(backoff)
+        return state.slot.payload
+    finally:
+        if record is not None:
+            diag.block_exit()
