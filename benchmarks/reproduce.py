@@ -192,14 +192,24 @@ def run_smoke(out_dir: pathlib.Path) -> None:
         records.extend(task_records)
     except Exception as error:  # noqa: BLE001 - smoke verdict
         failures.append(f"task-bench: {type(error).__name__}: {error}")
+    try:
+        import bench_region_overhead
+        region_failures, region_records = \
+            bench_region_overhead.smoke_records()
+        failures.extend(region_failures)
+        records.extend(region_records)
+    except Exception as error:  # noqa: BLE001 - smoke verdict
+        failures.append(
+            f"region-overhead: {type(error).__name__}: {error}")
     write_bench_json(out_dir, records)
     if failures:
         print("[reproduce] SMOKE FAILURES:")
         for failure in failures:
             print(f"  - {failure}")
         raise SystemExit(1)
-    print(f"[reproduce] smoke OK: {len(plan)} figure harnesses and the "
-          f"task microbenchmark completed (outputs in {out_dir}/)")
+    print(f"[reproduce] smoke OK: {len(plan)} figure harnesses, the task "
+          f"microbenchmark, and the region-overhead gate completed "
+          f"(outputs in {out_dir}/)")
 
 
 def main() -> None:

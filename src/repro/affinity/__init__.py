@@ -1,0 +1,27 @@
+"""Thread-affinity subsystem: ``OMP_PLACES`` parsing and proc binding.
+
+Split in two: :mod:`repro.affinity.places` turns an ``OMP_PLACES``
+string into an ordered tuple of CPU sets, and
+:mod:`repro.affinity.binder` applies ``OMP_PROC_BIND`` policies over
+that list to the calling thread.  ``binder_from_env`` is the one entry
+point the runtime engine uses at construction.
+"""
+
+from __future__ import annotations
+
+from repro import env
+from repro.affinity.binder import (HAVE_SCHED_AFFINITY, Binder,
+                                   place_for_member)
+from repro.affinity.places import (available_cpus, format_places,
+                                   parse_places)
+
+__all__ = ["HAVE_SCHED_AFFINITY", "Binder", "available_cpus",
+           "binder_from_env", "format_places", "parse_places",
+           "place_for_member"]
+
+
+def binder_from_env() -> Binder:
+    """Build the runtime's binder from ``OMP_PLACES``/``OMP_PROC_BIND``."""
+    spec = env.places_spec()
+    places = parse_places(spec) if spec is not None else ()
+    return Binder(places, env.default_proc_bind())

@@ -1,0 +1,91 @@
+"""Thread→place binding for ``OMP_PROC_BIND``.
+
+The :class:`Binder` owns the parsed place list and the bind policy and
+is consulted by every team member on entry to a parallel region.  On
+Linux it applies the placement with ``os.sched_setaffinity``; platforms
+without that call keep the bookkeeping (``omp_get_place_num`` still
+answers) but binding degrades to a no-op, as the OpenMP spec permits
+for unsupported affinity requests.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+#: Whether this platform can actually pin threads (Linux: yes).
+HAVE_SCHED_AFFINITY = hasattr(os, "sched_setaffinity")
+
+
+def place_for_member(thread_num: int, team_size: int, nplaces: int,
+                     proc_bind: str) -> int:
+    """The place index the bind policy assigns to one team member.
+
+    * ``primary`` — every member shares the primary thread's place.
+    * ``close`` — consecutive members on consecutive places, wrapping.
+    * ``spread`` — members spread across the place list as evenly as
+      possible (equivalent to ``close`` once the team outgrows it).
+    """
+    if nplaces <= 0:
+        return -1
+    if proc_bind == "primary":
+        return 0
+    if proc_bind == "spread" and team_size <= nplaces:
+        return (thread_num * nplaces) // team_size
+    return thread_num % nplaces
+
+
+class Binder:
+    """Applies a proc-bind policy over a place list to the calling thread.
+
+    ``bind_current`` is called from inside ``member()`` on the region's
+    hot path, so it caches the last applied place per native thread and
+    returns immediately when a pool worker is re-dispatched to the same
+    slot.  All failures (CPUs outside the process mask, containers
+    denying ``sched_setaffinity``) degrade to unbound, never raise.
+    """
+
+    __slots__ = ("places", "proc_bind", "_bound", "_lock")
+
+    def __init__(self, places: tuple[tuple[int, ...], ...],
+                 proc_bind: str) -> None:
+        self.places = places
+        self.proc_bind = proc_bind
+        #: ident -> place index last applied to that native thread.
+        self._bound: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether region entry should consult this binder at all."""
+        return bool(self.places) and self.proc_bind != "false"
+
+    def bind_current(self, thread_num: int, team_size: int) -> int | None:
+        """Pin the calling thread to its policy-assigned place.
+
+        Returns the place index applied, or ``None`` when binding is
+        disabled or the platform refused it.
+        """
+        if not self.enabled:
+            return None
+        index = place_for_member(thread_num, team_size, len(self.places),
+                                 self.proc_bind)
+        if index < 0:
+            return None
+        ident = threading.get_ident()
+        if self._bound.get(ident) == index:
+            return index
+        if HAVE_SCHED_AFFINITY:
+            try:
+                os.sched_setaffinity(0, self.places[index])
+            except (OSError, ValueError):
+                # CPUs outside the cgroup mask, or a sandbox denying the
+                # syscall: OpenMP says unsupported binding is ignored.
+                return None
+        with self._lock:
+            self._bound[ident] = index
+        return index
+
+    def place_num(self) -> int:
+        """``omp_get_place_num``: the calling thread's place, or -1."""
+        return self._bound.get(threading.get_ident(), -1)

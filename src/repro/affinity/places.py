@@ -1,0 +1,179 @@
+"""``OMP_PLACES`` parsing.
+
+A *place* is a set of CPUs a thread may be bound to; ``OMP_PLACES``
+describes the ordered place list the proc-bind policies index into.
+Two syntax families are supported, matching the subset real runtimes
+see in practice:
+
+* abstract names — ``threads``, ``cores``, ``sockets``, each with an
+  optional count: ``threads(4)``.  Python cannot portably see SMT
+  topology, so ``threads`` and ``cores`` both yield one place per
+  available CPU; ``sockets`` groups CPUs by
+  ``/sys/devices/system/cpu/cpu*/topology/physical_package_id`` where
+  readable and falls back to a single all-CPU place.
+* explicit lists — comma-separated ``{...}`` entries where each entry
+  is a list of CPU numbers and/or ``lower:len`` / ``lower:len:stride``
+  interval triplets: ``{0,1},{2,3}`` or ``{0:4},{4:4}``.
+
+Anything else (including the spec's ``!`` exclusion and place-level
+``:len:stride`` suffixes) raises :class:`~repro.errors.OmpError` with
+the offending text, never a silent misparse.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from repro.errors import OmpError
+
+#: Abstract place-list names accepted by :func:`parse_places`.
+ABSTRACT_NAMES = ("threads", "cores", "sockets")
+
+_ABSTRACT_RE = re.compile(
+    r"^(?P<name>[a-z_]+)\s*(?:\(\s*(?P<count>\d+)\s*\))?$")
+
+
+def available_cpus() -> tuple[int, ...]:
+    """CPUs this process may run on, in ascending order.
+
+    Uses ``os.sched_getaffinity`` where the platform has it (Linux) and
+    falls back to ``range(os.cpu_count())`` elsewhere.
+    """
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is not None:
+        try:
+            return tuple(sorted(getter(0)))
+        except OSError:  # pragma: no cover - exotic kernels
+            pass
+    return tuple(range(os.cpu_count() or 1))
+
+
+def _socket_of(cpu: int) -> int:
+    """Best-effort socket id of ``cpu`` from sysfs (``0`` when unknown)."""
+    path = (f"/sys/devices/system/cpu/cpu{cpu}/topology/"
+            f"physical_package_id")
+    try:
+        with open(path, encoding="ascii") as handle:
+            return int(handle.read().strip())
+    except (OSError, ValueError):
+        return 0
+
+
+def _parse_interval(text: str, spec: str) -> list[int]:
+    """One ``num`` / ``lower:len`` / ``lower:len:stride`` resource."""
+    parts = [part.strip() for part in text.split(":")]
+    if len(parts) > 3 or not all(parts):
+        raise OmpError(f"invalid OMP_PLACES interval {text!r} in {spec!r}")
+    try:
+        numbers = [int(part) for part in parts]
+    except ValueError:
+        raise OmpError(f"invalid OMP_PLACES interval {text!r} in "
+                       f"{spec!r}") from None
+    if len(numbers) == 1:
+        (lower,), length, stride = numbers, 1, 1
+    elif len(numbers) == 2:
+        (lower, length), stride = numbers, 1
+    else:
+        lower, length, stride = numbers
+    if lower < 0:
+        raise OmpError(f"OMP_PLACES CPU numbers must be non-negative, "
+                       f"got {lower} in {spec!r}")
+    if length < 1:
+        raise OmpError(f"OMP_PLACES interval length must be positive, "
+                       f"got {length} in {spec!r}")
+    if stride == 0:
+        raise OmpError(f"OMP_PLACES interval stride must be non-zero "
+                       f"in {spec!r}")
+    cpus = [lower + k * stride for k in range(length)]
+    if any(cpu < 0 for cpu in cpus):
+        raise OmpError(f"OMP_PLACES interval {text!r} reaches a negative "
+                       f"CPU number in {spec!r}")
+    return cpus
+
+
+def _split_places(spec: str) -> list[str]:
+    """Split ``{...},{...}`` on the commas *between* braces."""
+    entries: list[str] = []
+    depth = 0
+    start = 0
+    for pos, char in enumerate(spec):
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+            if depth < 0:
+                raise OmpError(f"unbalanced braces in OMP_PLACES {spec!r}")
+        elif char == "," and depth == 0:
+            entries.append(spec[start:pos])
+            start = pos + 1
+    if depth != 0:
+        raise OmpError(f"unbalanced braces in OMP_PLACES {spec!r}")
+    entries.append(spec[start:])
+    return [entry.strip() for entry in entries]
+
+
+def _explicit_places(spec: str) -> tuple[tuple[int, ...], ...]:
+    places: list[tuple[int, ...]] = []
+    for entry in _split_places(spec):
+        if not (entry.startswith("{") and entry.endswith("}")):
+            raise OmpError(f"invalid OMP_PLACES place {entry!r} in "
+                           f"{spec!r} (expected '{{...}}')")
+        body = entry[1:-1].strip()
+        if not body:
+            raise OmpError(f"empty OMP_PLACES place in {spec!r}")
+        cpus: list[int] = []
+        for resource in body.split(","):
+            cpus.extend(_parse_interval(resource.strip(), spec))
+        places.append(tuple(sorted(set(cpus))))
+    return tuple(places)
+
+
+def _abstract_places(name: str, count: int | None,
+                     cpus: tuple[int, ...]) -> tuple[tuple[int, ...], ...]:
+    if name in ("threads", "cores"):
+        places = tuple((cpu,) for cpu in cpus)
+    else:  # sockets
+        by_socket: dict[int, list[int]] = {}
+        for cpu in cpus:
+            by_socket.setdefault(_socket_of(cpu), []).append(cpu)
+        places = tuple(tuple(group)
+                       for _sock, group in sorted(by_socket.items()))
+    if count is not None:
+        if count < 1:
+            raise OmpError(f"OMP_PLACES count must be positive, "
+                           f"got {count}")
+        places = places[:count]
+    return places
+
+
+def parse_places(spec: str,
+                 cpus: tuple[int, ...] | None = None
+                 ) -> tuple[tuple[int, ...], ...]:
+    """Parse an ``OMP_PLACES`` value into an ordered tuple of places.
+
+    Each place is a tuple of CPU numbers.  ``cpus`` overrides the
+    detected CPU set (tests use this to exercise abstract names on a
+    fixed topology).  Invalid specs raise :class:`OmpError`.
+    """
+    text = spec.strip()
+    if not text:
+        raise OmpError("OMP_PLACES must not be empty")
+    if cpus is None:
+        cpus = available_cpus()
+    lowered = text.lower()
+    match = _ABSTRACT_RE.match(lowered)
+    if match and not text.startswith("{"):
+        name = match.group("name")
+        if name not in ABSTRACT_NAMES:
+            raise OmpError(f"unknown OMP_PLACES abstract name {name!r} "
+                           f"(expected one of {ABSTRACT_NAMES})")
+        count = match.group("count")
+        return _abstract_places(name, int(count) if count else None, cpus)
+    return _explicit_places(text)
+
+
+def format_places(places: tuple[tuple[int, ...], ...]) -> str:
+    """Render places back into ``OMP_PLACES`` explicit-list syntax."""
+    return ",".join("{" + ",".join(str(cpu) for cpu in place) + "}"
+                    for place in places)

@@ -13,7 +13,14 @@ import os
 
 #: ``OMP4PY_*`` knobs worth echoing in verbose/diagnostic output.
 _DIAG_KNOBS = ("OMP4PY_TRACE", "OMP4PY_METRICS", "OMP4PY_FLIGHT",
-               "OMP4PY_WATCHDOG", "OMP4PY_MODE", "OMP4PY_LINT")
+               "OMP4PY_WATCHDOG", "OMP4PY_MODE", "OMP4PY_LINT",
+               "OMP4PY_HOT_TEAMS", "OMP4PY_POOL_IDLE_TIMEOUT")
+
+
+def _places_text(runtime) -> str:
+    """``OMP_PLACES`` rendered in explicit-list syntax (``''`` = none)."""
+    from repro.affinity import format_places
+    return format_places(runtime._binder.places)
 
 
 def icv_snapshot(runtime, verbose: bool = False) -> dict:
@@ -32,10 +39,22 @@ def icv_snapshot(runtime, verbose: bool = False) -> dict:
         "OMP_NESTED": str(runtime.get_nested()).upper(),
         "OMP_THREAD_LIMIT": str(runtime.get_thread_limit()),
         "OMP_MAX_ACTIVE_LEVELS": str(runtime.get_max_active_levels()),
+        "OMP_PLACES": _places_text(runtime),
+        "OMP_PROC_BIND": runtime.get_proc_bind().upper(),
+        "OMP_WAIT_POLICY": runtime.get_wait_policy().upper(),
     }
     if verbose:
         snapshot["OMP4PY_RUNTIME"] = runtime.name
         snapshot["OMP4PY_NUM_PROCS"] = str(runtime.get_num_procs())
+        snapshot["OMP4PY_HOT_TEAMS"] = str(bool(
+            getattr(runtime, "hot_teams", True))).upper()
+        pool = getattr(runtime, "_pool", None)
+        if pool is not None:
+            state = pool.snapshot()
+            snapshot["OMP4PY_POOL"] = (
+                f"workers={state['workers']} idle={state['idle']} "
+                f"spawned={state['spawned']} reused={state['reused']} "
+                f"trimmed={state['trimmed']}")
         for knob in _DIAG_KNOBS:
             value = os.environ.get(knob)
             if value is not None:

@@ -74,6 +74,17 @@ class FlightRecorder(ToolHooks):
             self._rings[ident] = ring
         ring.append((time.perf_counter(), kind, detail))
 
+    def thread_begin(self, ttype, ident):
+        self._note("thread_begin", ttype)
+
+    def thread_end(self, ttype, ident):
+        self._note("thread_end", ttype)
+
+    def thread_idle(self, ident, endpoint):
+        # "idle_begin" as a thread's last ring event reads as "parked
+        # in the pool, not stuck" in a hang dump.
+        self._note(f"idle_{endpoint}")
+
     def parallel_begin(self, thread, team_size):
         self._note("parallel_begin", thread, team_size)
 

@@ -5,9 +5,12 @@ Two families of variables are honoured, mirroring the paper:
 * ``OMP_*`` — the standard OpenMP environment variables that seed the
   initial values of internal control variables (ICVs):
   ``OMP_NUM_THREADS``, ``OMP_SCHEDULE``, ``OMP_DYNAMIC``, ``OMP_NESTED``,
-  ``OMP_THREAD_LIMIT``, ``OMP_MAX_ACTIVE_LEVELS``, ``OMP_STACKSIZE`` and
-  ``OMP_WAIT_POLICY`` (the last two are accepted and recorded but have no
-  effect on Python threads).
+  ``OMP_THREAD_LIMIT``, ``OMP_MAX_ACTIVE_LEVELS``, ``OMP_STACKSIZE``
+  (accepted and recorded but without effect on Python threads),
+  ``OMP_WAIT_POLICY`` (``active`` spins briefly before parking at the
+  pool's fork/join points, ``passive`` parks immediately — see
+  :mod:`repro.runtime.pool`), ``OMP_PLACES`` and ``OMP_PROC_BIND``
+  (thread affinity — see :mod:`repro.affinity` and docs/affinity.md).
 * ``OMP4PY_*`` — defaults for the ``omp`` decorator arguments
   (``OMP4PY_CACHE``, ``OMP4PY_DUMP``, ``OMP4PY_DEBUG``, ``OMP4PY_COMPILE``,
   ``OMP4PY_FORCE``, ``OMP4PY_MODE``, ``OMP4PY_LINT``), plus the
@@ -19,7 +22,10 @@ Two families of variables are honoured, mirroring the paper:
   ``OMP4PY_WATCHDOG`` (stall watchdog: truthy for the default
   interval, an interval in seconds, or ``interval:report-path``) and
   ``OMP4PY_WATCHDOG_EXIT`` (terminate with the doctor exit code on a
-  deadlock verdict — see :mod:`repro.diagnostics.auto`).
+  deadlock verdict — see :mod:`repro.diagnostics.auto`), and the
+  hot-team pool knobs ``OMP4PY_HOT_TEAMS`` (``0`` restores the
+  spawn-per-region fork/join path) and ``OMP4PY_POOL_IDLE_TIMEOUT``
+  (seconds a parked pool worker waits for work before trimming itself).
 """
 
 from __future__ import annotations
@@ -114,6 +120,89 @@ def default_max_active_levels() -> int:
     if raw:
         return _parse_positive_int("OMP_MAX_ACTIVE_LEVELS", raw)
     return 2**31 - 1
+
+
+#: Wait policies accepted by ``OMP_WAIT_POLICY``.
+WAIT_POLICIES = ("active", "passive")
+
+#: ``OMP_PROC_BIND`` values after normalization (``master`` is the
+#: deprecated spelling of ``primary``; ``true`` binds like ``close``).
+PROC_BIND_KINDS = ("false", "primary", "close", "spread")
+
+
+def default_wait_policy() -> str:
+    """Initial ``wait-policy-var`` from ``OMP_WAIT_POLICY``.
+
+    ``passive`` (the default) parks pool workers on events immediately;
+    ``active`` spins briefly first, trading CPU for fork/join latency.
+    """
+    raw = os.environ.get("OMP_WAIT_POLICY")
+    if not raw:
+        return "passive"
+    policy = raw.strip().lower()
+    if policy not in WAIT_POLICIES:
+        raise OmpError(f"OMP_WAIT_POLICY must be one of {WAIT_POLICIES}, "
+                       f"got {raw!r}")
+    return policy
+
+
+def places_spec() -> str | None:
+    """Raw ``OMP_PLACES`` value, or ``None`` when unset/empty.
+
+    Parsing lives in :func:`repro.affinity.places.parse_places`; this
+    only decides whether affinity is requested at all.
+    """
+    raw = os.environ.get("OMP_PLACES")
+    if raw is None or not raw.strip():
+        return None
+    return raw.strip()
+
+
+def default_proc_bind() -> str:
+    """Initial ``bind-var`` from ``OMP_PROC_BIND``, normalized.
+
+    ``master`` (deprecated) maps to ``primary`` and ``true`` to
+    ``close``.  Per OpenMP 4.0, setting ``OMP_PLACES`` without
+    ``OMP_PROC_BIND`` implies binding, so the default is ``close`` when
+    places are defined and ``false`` otherwise.
+    """
+    raw = os.environ.get("OMP_PROC_BIND")
+    if not raw:
+        return "close" if places_spec() is not None else "false"
+    policy = raw.strip().lower()
+    if policy == "master":
+        policy = "primary"
+    elif policy == "true":
+        policy = "close"
+    if policy not in PROC_BIND_KINDS:
+        raise OmpError(
+            f"OMP_PROC_BIND must be one of "
+            f"{PROC_BIND_KINDS + ('true', 'master')}, got {raw!r}")
+    return policy
+
+
+def default_hot_teams() -> bool:
+    """``OMP4PY_HOT_TEAMS``: keep region workers parked between regions
+    (the default); ``0`` restores the spawn-per-region fork/join path."""
+    raw = os.environ.get("OMP4PY_HOT_TEAMS")
+    return _parse_bool("OMP4PY_HOT_TEAMS", raw) if raw else True
+
+
+def pool_idle_timeout() -> float:
+    """``OMP4PY_POOL_IDLE_TIMEOUT``: seconds a parked pool worker waits
+    for its next region before trimming itself (default 30)."""
+    raw = os.environ.get("OMP4PY_POOL_IDLE_TIMEOUT")
+    if not raw:
+        return 30.0
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise OmpError(f"OMP4PY_POOL_IDLE_TIMEOUT must be a number of "
+                       f"seconds, got {raw!r}") from None
+    if timeout <= 0:
+        raise OmpError(f"OMP4PY_POOL_IDLE_TIMEOUT must be positive, "
+                       f"got {timeout}")
+    return timeout
 
 
 def _observability_spec(name: str) -> str | None:

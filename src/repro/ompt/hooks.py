@@ -17,6 +17,12 @@ the runtime):
 ===================  =====================================================
 callback             fired when
 ===================  =====================================================
+``thread_begin``     a runtime-managed native thread starts (fires on
+                     the new thread, before its first implicit task)
+``thread_end``       a runtime-managed native thread retires (pool
+                     trim/shutdown, or a spawn-per-region join)
+``thread_idle``      a hot-team pool worker parks between regions
+                     (``begin``) or is handed its next region (``end``)
 ``parallel_begin``   the encountering thread forks a team
 ``parallel_end``     the team joined (after the implicit barrier)
 ``implicit_task``    a team member starts/ends its implicit task
@@ -47,6 +53,26 @@ class ToolHooks:
     implementations must be thread-safe, must not raise, and should be
     cheap — a slow callback stalls the thread that fired it.
     """
+
+    # -- native threads ---------------------------------------------------
+
+    def thread_begin(self, ttype: str, ident: int) -> None:
+        """A runtime-managed native thread started.
+
+        ``ttype`` is ``"pool-worker"`` for hot-team pool members or
+        ``"region-worker"`` for spawn-per-region threads
+        (``OMP4PY_HOT_TEAMS=0``); ``ident`` is the native
+        ``threading.get_ident()`` value.  Fires on the new thread.
+        """
+
+    def thread_end(self, ttype: str, ident: int) -> None:
+        """A runtime-managed native thread retired (idle trim, pool
+        shutdown, or the join of a spawn-per-region worker)."""
+
+    def thread_idle(self, ident: int, endpoint: str) -> None:
+        """A pool worker parked between regions (``endpoint ==
+        "begin"``) or was handed its next region's implicit task
+        (``"end"`` — one fire per pool reuse)."""
 
     # -- parallel regions -------------------------------------------------
 
@@ -122,7 +148,8 @@ class ToolHooks:
 
 
 #: Every dispatchable callback name, in catalogue order.
-CALLBACK_NAMES = ("parallel_begin", "parallel_end", "implicit_task",
+CALLBACK_NAMES = ("thread_begin", "thread_end", "thread_idle",
+                  "parallel_begin", "parallel_end", "implicit_task",
                   "work", "task_create", "task_schedule", "task_steal",
                   "task_complete", "sync_region", "mutex_acquire",
                   "mutex_acquired", "mutex_released")
@@ -138,6 +165,18 @@ class ToolDispatcher(ToolHooks):
 
     def __init__(self, tools):
         self.tools = tuple(tools)
+
+    def thread_begin(self, ttype, ident):
+        for tool in self.tools:
+            tool.thread_begin(ttype, ident)
+
+    def thread_end(self, ttype, ident):
+        for tool in self.tools:
+            tool.thread_end(ttype, ident)
+
+    def thread_idle(self, ident, endpoint):
+        for tool in self.tools:
+            tool.thread_idle(ident, endpoint)
 
     def parallel_begin(self, thread, team_size):
         for tool in self.tools:

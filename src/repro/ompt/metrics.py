@@ -185,6 +185,31 @@ class MetricsTool(ToolHooks):
         #: ``task_schedule`` hasn't yet; drives local/stolen attribution.
         self._stolen: set[int] = set()
 
+    # -- native threads ---------------------------------------------------
+
+    def thread_begin(self, ttype, ident):
+        with self._lock:
+            self.registry.counter(
+                "omp_pool_spawns_total",
+                "Runtime worker threads spawned, by thread type",
+                ttype=ttype).inc()
+
+    def thread_end(self, ttype, ident):
+        with self._lock:
+            self.registry.counter(
+                "omp_pool_trims_total",
+                "Runtime worker threads retired (idle trim, pool "
+                "shutdown, or spawn-per-region join), by thread type",
+                ttype=ttype).inc()
+
+    def thread_idle(self, ident, endpoint):
+        if endpoint != "end":
+            return
+        with self._lock:
+            self.registry.counter(
+                "omp_pool_reuse_total",
+                "Parked pool workers re-dispatched to a new region").inc()
+
     # -- parallel regions -------------------------------------------------
 
     def parallel_begin(self, thread, team_size):

@@ -62,6 +62,16 @@ class OmpRuntime:
         self._thread_limit = env.default_thread_limit()
         self._max_active_levels = env.default_max_active_levels()
         self._default_nthreads = env.default_num_threads()
+        self._wait_policy = env.default_wait_policy()
+        #: ``OMP4PY_HOT_TEAMS``: serve regions from the persistent
+        #: worker pool (:mod:`repro.runtime.pool`); ``False`` restores
+        #: the spawn-per-region fork/join path.  Public so tests and
+        #: benchmarks can flip it per run.
+        self.hot_teams = env.default_hot_teams()
+        from repro.affinity import binder_from_env
+        self._binder = binder_from_env()
+        self._pool = None
+        self._pool_lock = threading.Lock()
         self._criticals: dict[str, object] = {}
         self._criticals_lock = threading.Lock()
         self._atomic_mutex = lowlevel.make_mutex()
@@ -154,8 +164,11 @@ class OmpRuntime:
             diag.team_begin(team)
         copyin_values = [(key, self._tp_dict().get(key, _TP_MISSING))
                          for key in copyin]
+        binder = self._binder
 
         def member(index: int) -> None:
+            if binder.enabled:
+                binder.bind_current(index, size)
             stack = self._stack()
             stack.append(TaskFrame(team, index, frame, "implicit",
                                    frame.nthreads_var))
@@ -185,14 +198,15 @@ class OmpRuntime:
                     tool.implicit_task(index, "end", size)
                 stack.pop()
 
-        workers = [threading.Thread(target=member, args=(index,),
-                                    name=f"omp-{self.name}-{index}")
-                   for index in range(1, size)]
-        for worker in workers:
-            worker.start()
-        member(0)
-        for worker in workers:
-            worker.join()
+        if size > 1 and self.hot_teams:
+            ticket = self.pool().run_helpers(member, size - 1)
+            member(0)
+            self.pool().wait(ticket)
+        else:
+            workers = self._spawn_cold(member, size)
+            member(0)
+            for worker in workers:
+                worker.join()
         if self.tracer.enabled:
             self.tracer.record("region_join", frame.thread_num, size)
         if diag is not None:
@@ -220,6 +234,45 @@ class OmpRuntime:
         if requested < 1:
             raise OmpRuntimeError("num_threads must be positive")
         return min(requested, self._thread_limit)
+
+    def pool(self):
+        """This runtime's hot-team worker pool, created on first fork."""
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    from repro.runtime.pool import WorkerPool
+                    pool = WorkerPool(self)
+                    self._pool = pool
+        return pool
+
+    def _spawn_cold(self, member, size: int) -> list[threading.Thread]:
+        """The ``OMP4PY_HOT_TEAMS=0`` path: one fresh thread per helper.
+
+        Fires the same ``thread_begin``/``thread_end`` tool callbacks
+        the pool does, so tools see every runtime-managed thread
+        regardless of which fork/join path served the region.
+        """
+
+        def cold_member(index: int) -> None:
+            tool = self.tool
+            ident = threading.get_ident()
+            if tool is not None:
+                tool.thread_begin("region-worker", ident)
+            try:
+                member(index)
+            finally:
+                tool = self.tool
+                if tool is not None:
+                    tool.thread_end("region-worker", ident)
+
+        workers = [threading.Thread(target=cold_member, args=(index,),
+                                    name=f"omp-{self.name}-{index}")
+                   for index in range(1, size)]
+        for worker in workers:
+            worker.start()
+        return workers
 
     # ------------------------------------------------------------------
     # Worksharing: loops
@@ -758,6 +811,25 @@ class OmpRuntime:
 
     def in_parallel(self) -> bool:
         return self.current_frame().team.active_level > 0
+
+    def get_num_places(self) -> int:
+        """``omp_get_num_places``: places parsed from ``OMP_PLACES``."""
+        return len(self._binder.places)
+
+    def get_place_num(self) -> int:
+        """``omp_get_place_num``: the calling thread's place, or -1
+        when it is unbound (no places, bind disabled, or platform
+        without ``sched_setaffinity``)."""
+        return self._binder.place_num()
+
+    def get_proc_bind(self) -> str:
+        """Effective ``bind-var`` (normalized: ``false``/``primary``/
+        ``close``/``spread``)."""
+        return self._binder.proc_bind
+
+    def get_wait_policy(self) -> str:
+        """Effective ``wait-policy-var`` (``active`` or ``passive``)."""
+        return self._wait_policy
 
     def set_dynamic(self, flag: bool) -> None:
         self._dyn = bool(flag)

@@ -25,6 +25,8 @@ OMP_API_METHODS = {
     "omp_get_max_active_levels": "get_max_active_levels",
     "omp_get_level": "get_level",
     "omp_get_active_level": "get_active_level",
+    "omp_get_num_places": "get_num_places",
+    "omp_get_place_num": "get_place_num",
     "omp_get_ancestor_thread_num": "get_ancestor_thread_num",
     "omp_get_team_size": "get_team_size",
     "omp_get_wtime": "get_wtime",

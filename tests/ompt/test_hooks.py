@@ -86,6 +86,9 @@ class TestDispatcher:
     def test_every_callback_fans_out(self):
         first, second = RecordingTool(), RecordingTool()
         dispatcher = ToolDispatcher([first, second])
+        dispatcher.thread_begin("pool-worker", 1234)
+        dispatcher.thread_end("pool-worker", 1234)
+        dispatcher.thread_idle(1234, "begin")
         dispatcher.parallel_begin(0, 4)
         dispatcher.parallel_end(0, 4)
         dispatcher.implicit_task(1, "begin", 4)

@@ -240,6 +240,53 @@ class TestWatchdogFalsePositives:
         assert sorted(done) == [0, 1, 2]
         assert self._deadlock_verdicts(reports) == []
 
+    def test_parked_pool_workers_are_invisible_between_regions(
+            self, rt, diag):
+        """A parked hot-team worker holds no blocking record: after a
+        region joins, the wait-for graph over live diagnostics state
+        must be empty even though the pool threads still exist."""
+        rt.parallel_run(lambda: None, num_threads=3)
+        assert rt.pool().idle_count() >= 2  # workers parked, not gone
+        assert not any(diag.blocked.values())
+        graph = build_wait_graph(diag.snapshot())
+        assert graph.edges == {}
+        assert graph.find_cycles() == []
+        assert graph.unsatisfiable == []
+
+    def test_parked_workers_do_not_trigger_stall_reports(self, rt, diag):
+        """Many intervals of main-thread-only work with workers parked
+        in the pool: the watchdog must stay silent — parked workers are
+        idle, not stalled."""
+        rt.parallel_run(lambda: None, num_threads=3)
+        reports = []
+        watchdog = Watchdog(rt, 0.1, on_report=reports.append,
+                            stream=io.StringIO())
+        watchdog.start()
+        try:
+            time.sleep(0.6)  # several poll intervals, pool parked
+        finally:
+            watchdog.stop()
+        assert reports == []
+
+    def test_pool_reuse_between_watched_regions(self, rt, diag):
+        """Back-to-back regions served by reused pool workers under an
+        aggressive watchdog: no deadlock verdicts, and the reports (if
+        any stall fired) never name a parked worker."""
+        def region():
+            rt.barrier()
+
+        reports = []
+        watchdog = Watchdog(rt, 0.1, on_report=reports.append,
+                            stream=io.StringIO())
+        watchdog.start()
+        try:
+            for _ in range(10):
+                rt.parallel_run(region, num_threads=3)
+                time.sleep(0.05)
+        finally:
+            watchdog.stop()
+        assert self._deadlock_verdicts(reports) == []
+
 
 # -- watchdog: seeded deadlock ---------------------------------------------
 
