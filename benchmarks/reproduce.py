@@ -136,10 +136,16 @@ def write_bench_json(out_dir: pathlib.Path, records: list[dict]) -> None:
     import os
     import platform
 
+    from repro.runtime.gilstate import current_backend
+
     payload = {
         "schema": "omp4py-bench-smoke/1",
         "python": platform.python_version(),
         "platform": platform.platform(),
+        # Wall times under gil vs nogil backends are not comparable
+        # (projection vs true parallelism), so the delta tool refuses
+        # cross-backend comparisons.
+        "backend": current_backend().value,
         # Overhead comparisons only make sense between runs with the
         # same diagnostics arming, so record the knobs in the file.
         "diagnostics": {
@@ -201,6 +207,15 @@ def run_smoke(out_dir: pathlib.Path) -> None:
     except Exception as error:  # noqa: BLE001 - smoke verdict
         failures.append(
             f"region-overhead: {type(error).__name__}: {error}")
+    try:
+        import bench_projection_validation
+        proj_failures, proj_records = \
+            bench_projection_validation.smoke_records()
+        failures.extend(proj_failures)
+        records.extend(proj_records)
+    except Exception as error:  # noqa: BLE001 - smoke verdict
+        failures.append(
+            f"projection-validate: {type(error).__name__}: {error}")
     write_bench_json(out_dir, records)
     if failures:
         print("[reproduce] SMOKE FAILURES:")
@@ -208,8 +223,9 @@ def run_smoke(out_dir: pathlib.Path) -> None:
             print(f"  - {failure}")
         raise SystemExit(1)
     print(f"[reproduce] smoke OK: {len(plan)} figure harnesses, the task "
-          f"microbenchmark, and the region-overhead gate completed "
-          f"(outputs in {out_dir}/)")
+          f"microbenchmark, the region-overhead gate, and the "
+          f"projection-validation gate completed (outputs in "
+          f"{out_dir}/)")
 
 
 def main() -> None:

@@ -40,10 +40,17 @@ def print_series_table(points, thread_counts, series_order,
     out = out if out is not None else sys.stdout
     by_key = {}
     errors = {}
+    backends = set()
     for point in points:
         if point.error is not None:
             errors[point.series] = point.error
+        if point.measurement is not None:
+            backends.add(point.measurement.backend)
         by_key[point.series, point.threads] = point
+    if "nogil" in backends:
+        print("    (free-threaded backend: proj[s] is the *measured* "
+              "wall time; the projection model survives as a "
+              "cross-check — see repro.analysis.validate)", file=out)
     header = "series".ljust(12) + "".join(
         f"{f'{t} thr':>24}" for t in thread_counts)
     print(header, file=out)
@@ -137,6 +144,9 @@ def points_to_json(points) -> list[dict]:
                                if measurement else None),
             "regions": measurement.regions if measurement else None,
             "imbalance": measurement.imbalance if measurement else None,
+            "backend": measurement.backend if measurement else None,
+            "model_projected_s": (measurement.model_projected
+                                  if measurement else None),
             "verified": point.verified,
             "error": point.error,
         })

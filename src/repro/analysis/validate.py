@@ -1,0 +1,247 @@
+"""Projection-validation harness: projected vs measured wall time.
+
+The projection model (docs/projection.md) claims that on a
+free-threaded interpreter its output converges to the measured wall
+time.  This harness turns that claim — the comparison the OMP4Py paper
+treats as central — into a machine-checked verdict: it runs the same
+smoke kernels under both accounting paths and reports the per-app
+relative error between the model's projection and the measured wall.
+
+What is checkable depends on the execution backend
+(:mod:`repro.runtime.gilstate`):
+
+* **nogil** (free-threaded interpreter) — the real validation: threads
+  overlap, so ``|model − wall| / wall`` must stay within the
+  documented bound (:data:`DEFAULT_BOUND`) at every thread count.
+  This is what CI's ``nogil-validate`` job gates.
+* **gil** — convergence cannot be observed (the model and the wall
+  *must* diverge; that divergence is the model's whole point), so the
+  harness instead checks the identities that hold regardless of the
+  GIL: at one thread the formula degenerates to the wall exactly
+  (``Σcpu == maxcpu``), and at any thread count the projection never
+  exceeds the measured wall (it only ever subtracts serialized
+  compute).  These catch accounting-plumbing regressions — a region
+  that stops recording, a double-counted repeat — on every CI leg,
+  not just the free-threaded one.
+
+Usage::
+
+    python -m repro.analysis.validate [--apps pi,wordcount]
+        [--threads 4] [--profile test] [--repeats 3] [--bound 0.25]
+        [--check] [--json PATH] [--summary PATH]
+
+``--check`` exits non-zero when any row exceeds the bound;
+``--summary`` writes a GitHub-flavoured markdown table (CI appends it
+to ``$GITHUB_STEP_SUMMARY``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+
+from repro.analysis.timing import measure
+from repro.modes import Mode
+from repro.runtime.gilstate import Backend, current_backend
+
+#: Documented projected-vs-measured error bound for the smoke kernels
+#: (docs/projection.md, "Validated against real free-threaded runs").
+#: Generous enough for shared-runner noise at test-profile sizes,
+#: tight enough that a broken accounting path (regions unrecorded,
+#: CPU times attributed to the wrong team) cannot sneak through.
+DEFAULT_BOUND = 0.25
+
+#: Kernels the smoke validation runs: the reduction-bound numerical
+#: app and the critical-section-bound non-numerical one — the two
+#: synchronization archetypes of the paper's Table I.
+SMOKE_APPS = ("pi", "wordcount")
+
+
+@dataclasses.dataclass
+class ValidationRow:
+    """One projected-vs-measured comparison."""
+
+    app: str
+    threads: int
+    backend: str
+    kind: str            # "convergence" (nogil) / "identity" /
+                         # "model-upper-bound" (gil)
+    wall_s: float
+    model_projected_s: float
+    error: float         # the gated relative error for this row
+    bound: float
+    passed: bool
+
+    def line(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return (f"{self.app:<12} {self.threads:>3}  {self.kind:<17} "
+                f"{self.wall_s:>9.4f} {self.model_projected_s:>9.4f} "
+                f"{self.error * 100:>7.1f}%  {verdict}")
+
+
+def _run_app(spec, mode: Mode, threads: int, profile: str,
+             repeats: int):
+    variant = spec.variant(mode)
+
+    def make_args():
+        inputs = spec.inputs(profile)
+        inputs["threads"] = threads
+        return (), inputs
+
+    return measure(variant, repeats=repeats, make_args=make_args)
+
+
+def validate_app(spec, threads: int, profile: str = "test",
+                 repeats: int = 3, bound: float = DEFAULT_BOUND,
+                 mode: Mode = Mode.PURE,
+                 backend: Backend | None = None) -> list[ValidationRow]:
+    """Validation rows for one app (backend decides which checks run)."""
+    backend = backend if backend is not None else current_backend()
+    rows: list[ValidationRow] = []
+    if backend.measures_parallelism:
+        # The real thing: the model must reproduce the measured wall.
+        for count in sorted({1, threads}):
+            m = _run_app(spec, mode, count, profile, repeats)
+            model = m.model_projected if m.model_projected is not None \
+                else m.projected
+            error = abs(model - m.wall) / m.wall if m.wall else 0.0
+            rows.append(ValidationRow(
+                app=spec.name, threads=count, backend=backend.value,
+                kind="convergence", wall_s=m.wall,
+                model_projected_s=model, error=error, bound=bound,
+                passed=error <= bound))
+        return rows
+    # GIL backend: check the backend-independent identities.
+    one = _run_app(spec, mode, 1, profile, repeats)
+    one_model = one.model_projected if one.model_projected is not None \
+        else one.projected
+    one_error = abs(one_model - one.wall) / one.wall if one.wall else 0.0
+    rows.append(ValidationRow(
+        app=spec.name, threads=1, backend=backend.value,
+        kind="identity", wall_s=one.wall, model_projected_s=one_model,
+        error=one_error, bound=bound, passed=one_error <= bound))
+    if threads > 1:
+        many = _run_app(spec, mode, threads, profile, repeats)
+        model = many.model_projected if many.model_projected is not None \
+            else many.projected
+        # Only an excess over the wall is an error: the model may (and
+        # should) project far below it under the GIL.
+        excess = max(0.0, model - many.wall) / many.wall \
+            if many.wall else 0.0
+        rows.append(ValidationRow(
+            app=spec.name, threads=threads, backend=backend.value,
+            kind="model-upper-bound", wall_s=many.wall,
+            model_projected_s=model, error=excess, bound=bound,
+            passed=excess <= bound))
+    return rows
+
+
+def run_validation(apps=SMOKE_APPS, threads: int = 4,
+                   profile: str = "test", repeats: int = 3,
+                   bound: float = DEFAULT_BOUND, mode: Mode = Mode.PURE,
+                   backend: Backend | None = None) -> list[ValidationRow]:
+    """Validate every app; returns all rows (callers check ``passed``)."""
+    from repro.apps import get_app
+    rows: list[ValidationRow] = []
+    for name in apps:
+        rows.extend(validate_app(get_app(name), threads, profile,
+                                 repeats, bound, mode, backend))
+    return rows
+
+
+def rows_to_json(rows: list[ValidationRow]) -> dict:
+    backend = rows[0].backend if rows else current_backend().value
+    return {
+        "schema": "omp4py-projection-validation/1",
+        "backend": backend,
+        "bound": rows[0].bound if rows else DEFAULT_BOUND,
+        "max_error": max((r.error for r in rows), default=0.0),
+        "passed": all(r.passed for r in rows),
+        "rows": [dataclasses.asdict(r) for r in rows],
+    }
+
+
+def rows_to_markdown(rows: list[ValidationRow]) -> str:
+    """GitHub-flavoured markdown table for the CI job summary."""
+    backend = rows[0].backend if rows else current_backend().value
+    bound = rows[0].bound if rows else DEFAULT_BOUND
+    lines = [
+        f"### Projection validation (backend={backend}, "
+        f"bound {bound * 100:.0f}%)",
+        "",
+        "| app | threads | check | wall [s] | model [s] | error | "
+        "verdict |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for r in rows:
+        verdict = "✅ pass" if r.passed else "❌ FAIL"
+        lines.append(
+            f"| {r.app} | {r.threads} | {r.kind} | {r.wall_s:.4f} | "
+            f"{r.model_projected_s:.4f} | {r.error * 100:.1f}% | "
+            f"{verdict} |")
+    if backend != "nogil":
+        lines += ["", "_GIL backend: convergence is unobservable; only "
+                      "the backend-independent identities were "
+                      "checked._"]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.validate",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--apps", default=",".join(SMOKE_APPS),
+                        help="comma-separated app subset")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--profile", default="test",
+                        choices=("test", "default", "paper"))
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--bound", type=float, default=DEFAULT_BOUND,
+                        help="relative-error gate (default "
+                             f"{DEFAULT_BOUND})")
+    parser.add_argument("--mode", default="pure",
+                        help="execution mode to validate under")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 when any row exceeds the bound")
+    parser.add_argument("--json", default=None, metavar="PATH")
+    parser.add_argument("--summary", default=None, metavar="PATH",
+                        help="write a markdown table (CI step summary)")
+    args = parser.parse_args(argv)
+
+    backend = current_backend()
+    rows = run_validation(
+        apps=[a for a in args.apps.split(",") if a],
+        threads=args.threads, profile=args.profile,
+        repeats=args.repeats, bound=args.bound,
+        mode=Mode.parse(args.mode))
+    print(f"PROJECTION VALIDATION (backend={backend.value}, "
+          f"profile={args.profile}, bound={args.bound * 100:.0f}%)")
+    print(f"{'app':<12} {'thr':>3}  {'check':<17} {'wall[s]':>9} "
+          f"{'model[s]':>9} {'error':>8}  verdict")
+    for row in rows:
+        print(row.line())
+    failed = [r for r in rows if not r.passed]
+    worst = max((r.error for r in rows), default=0.0)
+    print(f"\nmax error {worst * 100:.1f}% over {len(rows)} checks; "
+          f"{len(rows) - len(failed)}/{len(rows)} within the "
+          f"{args.bound * 100:.0f}% bound")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(rows_to_json(rows), handle, indent=2)
+        print(f"(json written to {args.json})")
+    if args.summary:
+        with open(args.summary, "w", encoding="utf-8") as handle:
+            handle.write(rows_to_markdown(rows))
+        print(f"(summary written to {args.summary})")
+    if args.check and failed:
+        print(f"[validate] FAIL: {len(failed)} check(s) exceeded the "
+              f"bound", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

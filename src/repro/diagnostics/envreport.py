@@ -14,7 +14,8 @@ import os
 #: ``OMP4PY_*`` knobs worth echoing in verbose/diagnostic output.
 _DIAG_KNOBS = ("OMP4PY_TRACE", "OMP4PY_METRICS", "OMP4PY_FLIGHT",
                "OMP4PY_WATCHDOG", "OMP4PY_MODE", "OMP4PY_LINT",
-               "OMP4PY_HOT_TEAMS", "OMP4PY_POOL_IDLE_TIMEOUT")
+               "OMP4PY_HOT_TEAMS", "OMP4PY_POOL_IDLE_TIMEOUT",
+               "OMP4PY_BACKEND")
 
 
 def _places_text(runtime) -> str:
@@ -45,6 +46,9 @@ def icv_snapshot(runtime, verbose: bool = False) -> dict:
     }
     if verbose:
         snapshot["OMP4PY_RUNTIME"] = runtime.name
+        backend = getattr(runtime, "backend", None)
+        if backend is not None:
+            snapshot["OMP4PY_EXECUTION_BACKEND"] = backend.value
         snapshot["OMP4PY_NUM_PROCS"] = str(runtime.get_num_procs())
         snapshot["OMP4PY_HOT_TEAMS"] = str(bool(
             getattr(runtime, "hot_teams", True))).upper()

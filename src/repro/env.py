@@ -25,7 +25,10 @@ Two families of variables are honoured, mirroring the paper:
   deadlock verdict — see :mod:`repro.diagnostics.auto`), and the
   hot-team pool knobs ``OMP4PY_HOT_TEAMS`` (``0`` restores the
   spawn-per-region fork/join path) and ``OMP4PY_POOL_IDLE_TIMEOUT``
-  (seconds a parked pool worker waits for work before trimming itself).
+  (seconds a parked pool worker waits for work before trimming itself),
+  and ``OMP4PY_BACKEND`` (``auto``/``gil``/``nogil`` — the execution
+  backend selecting projected vs measured wall-time accounting; see
+  :mod:`repro.runtime.gilstate` and docs/projection.md).
 """
 
 from __future__ import annotations
@@ -80,6 +83,30 @@ def parse_schedule(value: str) -> tuple[str, int | None]:
     return kind, chunk
 
 
+def available_cpus() -> int:
+    """CPUs actually usable by this process.
+
+    Prefers ``os.process_cpu_count()`` (3.13+), which honours CPU
+    affinity masks and cgroup-style restrictions, over the raw machine
+    count — on a shared CI runner the two can differ wildly, and team
+    sizing / ``omp_get_num_procs`` must not oversubscribe the cores the
+    scheduler will actually grant.  Falls back to the affinity mask and
+    finally ``os.cpu_count()`` on older interpreters.
+    """
+    process_count = getattr(os, "process_cpu_count", None)
+    if process_count is not None:
+        count = process_count()
+        if count:
+            return count
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return len(affinity(0)) or 1
+        except OSError:  # pragma: no cover - platform without affinity
+            pass
+    return os.cpu_count() or 1
+
+
 def default_num_threads() -> int:
     """Initial ``nthreads-var``: ``OMP_NUM_THREADS`` or the CPU count."""
     raw = os.environ.get("OMP_NUM_THREADS")
@@ -87,7 +114,7 @@ def default_num_threads() -> int:
         # OpenMP allows a comma-separated list (one value per nesting
         # level); we honour the first entry like most implementations.
         return _parse_positive_int("OMP_NUM_THREADS", raw.split(",")[0])
-    return os.cpu_count() or 1
+    return available_cpus()
 
 
 def default_schedule() -> tuple[str, int | None]:
@@ -179,6 +206,30 @@ def default_proc_bind() -> str:
             f"OMP_PROC_BIND must be one of "
             f"{PROC_BIND_KINDS + ('true', 'master')}, got {raw!r}")
     return policy
+
+
+#: Values accepted by ``OMP4PY_BACKEND``.
+BACKEND_SPECS = ("auto", "gil", "nogil")
+
+
+def backend_spec() -> str:
+    """``OMP4PY_BACKEND``: the execution-backend request, normalized.
+
+    ``auto`` (the default) detects free-threading at import
+    (:mod:`repro.runtime.gilstate`); ``gil`` forces the projection
+    accounting even on a free-threaded interpreter; ``nogil`` asserts
+    true parallelism and is an error on a GIL-enabled interpreter (the
+    assertion failing loudly beats silently reporting projected numbers
+    as measured ones).
+    """
+    raw = os.environ.get("OMP4PY_BACKEND")
+    if raw is None or not raw.strip():
+        return "auto"
+    spec = raw.strip().lower()
+    if spec not in BACKEND_SPECS:
+        raise OmpError(f"OMP4PY_BACKEND must be one of {BACKEND_SPECS}, "
+                       f"got {raw!r}")
+    return spec
 
 
 def default_hot_teams() -> bool:

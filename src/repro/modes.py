@@ -11,6 +11,12 @@ The paper defines four modes (Section III-B and IV):
   :mod:`repro.compiler`.
 * **CompiledDT** — Compiled plus explicit ``int``/``float`` data-type
   annotations, which enable the typed NumPy-kernel lowering.
+
+Orthogonal to the four modes is the **execution backend**
+(:mod:`repro.runtime.gilstate`): every mode runs unchanged on either a
+GIL or a free-threaded interpreter, but the backend decides whether the
+analysis stack reports projected or measured wall time.
+:func:`execution_backend` is the mode layer's accessor.
 """
 
 from __future__ import annotations
@@ -75,3 +81,13 @@ ALL_MODES = (Mode.PURE, Mode.HYBRID, Mode.COMPILED, Mode.COMPILED_DT)
 def default_mode() -> Mode:
     """Session default: ``OMP4PY_MODE`` or *Hybrid* (as in the paper)."""
     return Mode.parse(env.decorator_default("mode", Mode.HYBRID.value))
+
+
+def execution_backend():
+    """The process-wide execution backend (``Backend.GIL``/``NOGIL``).
+
+    Imported lazily so the mode table stays importable in contexts that
+    never touch the runtime (the lint CLI, directive parsing).
+    """
+    from repro.runtime.gilstate import current_backend
+    return current_backend()

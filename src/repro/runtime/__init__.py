@@ -13,9 +13,10 @@ low-level ``.pyx`` modules.
 """
 
 from repro.runtime.engine import OmpRuntime
+from repro.runtime.gilstate import Backend, current_backend
 from repro.runtime.lowlevel import PureLowLevel
 
 #: Singleton pure-Python runtime, bound as ``__omp__`` in *Pure* mode.
 pure_runtime = OmpRuntime(PureLowLevel())
 
-__all__ = ["OmpRuntime", "pure_runtime"]
+__all__ = ["Backend", "OmpRuntime", "current_backend", "pure_runtime"]

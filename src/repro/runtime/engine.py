@@ -10,7 +10,6 @@ runtime is an independent initial thread to the other.
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 
@@ -68,6 +67,13 @@ class OmpRuntime:
         #: the spawn-per-region fork/join path.  Public so tests and
         #: benchmarks can flip it per run.
         self.hot_teams = env.default_hot_teams()
+        #: Execution backend (:mod:`repro.runtime.gilstate`): ``GIL``
+        #: runtimes serialize Python threads and the analysis stack
+        #: projects no-GIL wall time; ``NOGIL`` runtimes (free-threaded
+        #: interpreter, or ``OMP4PY_BACKEND=nogil``) run this exact
+        #: engine with true parallelism and report measured wall time.
+        from repro.runtime.gilstate import current_backend
+        self.backend = current_backend()
         from repro.affinity import binder_from_env
         self._binder = binder_from_env()
         self._pool = None
@@ -807,7 +813,14 @@ class OmpRuntime:
 
     @staticmethod
     def get_num_procs() -> int:
-        return os.cpu_count() or 1
+        """``omp_get_num_procs``: CPUs this *process* may use.
+
+        Affinity/cgroup-aware (``os.process_cpu_count`` on 3.13+), so
+        team sizing on a restricted runner — the free-threaded CI leg
+        runs on shared machines — matches the cores actually grantable
+        instead of the whole box.
+        """
+        return env.available_cpus()
 
     def in_parallel(self) -> bool:
         return self.current_frame().team.active_level > 0

@@ -1,0 +1,118 @@
+"""Free-threaded-interpreter detection: the execution-backend switch.
+
+The paper's evaluation runs on free-threaded CPython 3.14b1, where
+OMP4Py threads execute truly concurrently.  This reproduction has so
+far *projected* no-GIL wall time from per-thread CPU accounting
+(docs/projection.md).  This module makes the distinction explicit: at
+import it detects whether the interpreter actually runs without a GIL
+and selects one of two **execution backends**:
+
+* :attr:`Backend.GIL` — threads serialize; the timing stack reports the
+  per-thread-CPU projection as the paper-comparable number (the
+  historical behaviour, and the only possibility on a stock build).
+* :attr:`Backend.NOGIL` — threads genuinely overlap; the measured wall
+  time *is* the paper-comparable number, and the projection formula is
+  demoted to a cross-check (``repro.analysis.validate`` gates on the
+  two agreeing — the convergence claim docs/projection.md makes).
+
+Detection uses ``sys._is_gil_enabled()`` (3.13+) when available — the
+runtime truth, since a free-threaded build can re-enable the GIL via
+``PYTHON_GIL=1`` or an incompatible extension — and falls back to the
+build flag ``sysconfig.get_config_var("Py_GIL_DISABLED")``.  The
+``OMP4PY_BACKEND`` environment knob (parsed in :mod:`repro.env`)
+overrides: ``gil`` always works (projection accounting is valid
+anywhere), ``nogil`` on a GIL-enabled interpreter raises — asserting
+parallelism that cannot happen would silently mislabel projected
+numbers as measured ones.
+"""
+
+from __future__ import annotations
+
+import enum
+import sys
+import sysconfig
+
+from repro import env
+from repro.errors import OmpError
+
+
+class Backend(enum.Enum):
+    """Which wall-time accounting the interpreter calls for."""
+
+    GIL = "gil"
+    NOGIL = "nogil"
+
+    @property
+    def measures_parallelism(self) -> bool:
+        """True when measured wall time is the paper-comparable number."""
+        return self is Backend.NOGIL
+
+
+def build_is_free_threaded() -> bool:
+    """True on a free-threaded (``Py_GIL_DISABLED``) CPython build."""
+    return bool(sysconfig.get_config_var("Py_GIL_DISABLED"))
+
+
+def gil_enabled_now() -> bool | None:
+    """Whether the GIL is active right now, or ``None`` when the
+    interpreter predates ``sys._is_gil_enabled`` (< 3.13)."""
+    probe = getattr(sys, "_is_gil_enabled", None)
+    if probe is None:
+        return None
+    return bool(probe())
+
+
+def detect_backend(spec: str | None = None) -> Backend:
+    """Resolve the execution backend from a spec and the interpreter.
+
+    ``spec`` is ``"auto"``/``"gil"``/``"nogil"`` (default: the
+    ``OMP4PY_BACKEND`` environment knob).  ``auto`` trusts the runtime
+    GIL probe, falling back to the build flag; ``nogil`` on an
+    interpreter whose GIL is enabled raises :class:`~repro.errors.OmpError`.
+    """
+    if spec is None:
+        spec = env.backend_spec()
+    if spec == "gil":
+        return Backend.GIL
+    enabled = gil_enabled_now()
+    free = not enabled if enabled is not None else build_is_free_threaded()
+    if spec == "nogil":
+        if not free:
+            raise OmpError(
+                "OMP4PY_BACKEND=nogil but this interpreter runs with the "
+                "GIL enabled (stock build, PYTHON_GIL=1, or an extension "
+                "re-enabled it); threads cannot execute in parallel, so "
+                "measured wall times would not mean what the nogil "
+                "backend promises.  Use a free-threaded build (3.13t+) "
+                "or OMP4PY_BACKEND=auto/gil.")
+        return Backend.NOGIL
+    return Backend.NOGIL if free else Backend.GIL
+
+
+_current: Backend | None = None
+
+
+def current_backend() -> Backend:
+    """The process-wide backend, detected once and cached.
+
+    Tests (and long-lived embedders flipping ``OMP4PY_BACKEND``) can
+    re-detect with :func:`refresh_backend`.
+    """
+    global _current
+    if _current is None:
+        _current = detect_backend()
+    return _current
+
+
+def refresh_backend(spec: str | None = None) -> Backend:
+    """Re-run detection (after an environment change) and re-cache."""
+    global _current
+    _current = detect_backend(spec)
+    return _current
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity/cgroup-aware; see
+    :func:`repro.env.available_cpus` — re-exported here because backend
+    and team-sizing decisions are made together)."""
+    return env.available_cpus()

@@ -94,6 +94,15 @@ class WorkerPool:
         self.wait_policy = (wait_policy if wait_policy is not None
                             else getattr(runtime, "_wait_policy",
                                          "passive"))
+        #: The runtime's execution backend, surfaced in ``snapshot()``
+        #: so doctor/``omp_display_env`` output shows whether these
+        #: workers genuinely overlap (nogil) or interleave (gil).  The
+        #: pool mechanics are backend-independent: parked workers hold
+        #: no locks either way, and on a free-threaded interpreter the
+        #: same dispatch path yields true parallelism unchanged.
+        backend = getattr(runtime, "backend", None)
+        self.backend = (backend.value if backend is not None
+                        else "gil")
         self._lock = threading.Lock()
         self._idle: list[_PoolWorker] = []
         self._workers: list[_PoolWorker] = []
@@ -242,7 +251,8 @@ class WorkerPool:
                     "reused": self.reused_total,
                     "trimmed": self.trimmed_total,
                     "wait_policy": self.wait_policy,
-                    "idle_timeout": self.idle_timeout}
+                    "idle_timeout": self.idle_timeout,
+                    "backend": self.backend}
 
     def shutdown(self, timeout: float = 5.0) -> None:
         """Retire every parked worker and join its thread.

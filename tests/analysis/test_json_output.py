@@ -22,7 +22,8 @@ class TestPointsToJson:
                        "wall_s": 1.5, "projected_s": 0.5,
                        "serialized_cpu_s": 1.2, "critical_cpu_s": 0.4,
                        "regions": 2, "imbalance": 1.25,
-                       "verified": True, "error": None}
+                       "verified": True, "error": None,
+                       "backend": "gil", "model_projected_s": None}
 
     def test_error_rows_have_observability_fields(self):
         point = SweepPoint(app="bfs", series="pyomp", threads=2,

@@ -1,0 +1,169 @@
+"""Tests of the projection-validation harness (repro.analysis.validate)."""
+
+import json
+
+import pytest
+
+from repro.analysis import validate
+from repro.analysis.validate import (DEFAULT_BOUND, ValidationRow,
+                                     rows_to_json, rows_to_markdown,
+                                     run_validation, validate_app)
+from repro.apps import get_app
+from repro.runtime.gilstate import Backend
+
+
+def _row(app="pi", threads=1, backend="gil", kind="identity",
+         wall=1.0, model=1.0, error=0.0, bound=DEFAULT_BOUND,
+         passed=True):
+    return ValidationRow(app=app, threads=threads, backend=backend,
+                         kind=kind, wall_s=wall,
+                         model_projected_s=model, error=error,
+                         bound=bound, passed=passed)
+
+
+class TestGilBackendChecks:
+    """Real runs on the local (GIL) interpreter."""
+
+    def test_identity_and_upper_bound_rows(self):
+        rows = validate_app(get_app("pi"), threads=2, repeats=2,
+                            backend=Backend.GIL)
+        assert [r.kind for r in rows] == ["identity",
+                                         "model-upper-bound"]
+        assert all(r.backend == "gil" for r in rows)
+        assert rows[0].threads == 1
+        assert rows[1].threads == 2
+
+    def test_identities_hold(self):
+        # At one thread the formula degenerates to the wall; at any
+        # count the model never exceeds the wall.  Both must pass on a
+        # healthy accounting stack.
+        rows = validate_app(get_app("pi"), threads=2, repeats=2,
+                            backend=Backend.GIL)
+        assert all(r.passed for r in rows), [r.line() for r in rows]
+        assert rows[0].error <= DEFAULT_BOUND
+        assert rows[1].error == 0.0  # model strictly below the wall
+
+    def test_single_thread_request_skips_upper_bound(self):
+        rows = validate_app(get_app("pi"), threads=1, repeats=1,
+                            backend=Backend.GIL)
+        assert [r.kind for r in rows] == ["identity"]
+
+    def test_run_validation_covers_all_smoke_apps(self):
+        rows = run_validation(threads=2, repeats=1,
+                              backend=Backend.GIL)
+        assert {r.app for r in rows} == set(validate.SMOKE_APPS)
+
+
+class TestNogilBackendChecks:
+    """Backend forced to NOGIL: the convergence path is exercised even
+    though this interpreter serializes (the errors it reports here are
+    the real divergence the model exists to bridge)."""
+
+    def test_convergence_rows_at_one_and_n_threads(self):
+        rows = validate_app(get_app("pi"), threads=3, repeats=1,
+                            backend=Backend.NOGIL)
+        assert [r.kind for r in rows] == ["convergence",
+                                         "convergence"]
+        assert [r.threads for r in rows] == [1, 3]
+        assert all(r.backend == "nogil" for r in rows)
+
+    def test_one_thread_converges_even_under_the_gil(self):
+        # With a single thread there is no parallelism to project away,
+        # so model == wall holds on any interpreter.
+        rows = validate_app(get_app("pi"), threads=1, repeats=2,
+                            backend=Backend.NOGIL)
+        (row,) = rows
+        assert row.passed, row.line()
+
+    @pytest.mark.nogil
+    def test_convergence_gate_passes_for_real(self):
+        # The actual CI gate: only meaningful with true parallelism.
+        rows = run_validation(threads=4, repeats=3,
+                              backend=Backend.NOGIL)
+        assert all(r.passed for r in rows), [r.line() for r in rows]
+
+
+class TestSerialization:
+    def test_json_schema(self):
+        rows = [_row(), _row(threads=2, kind="model-upper-bound",
+                             error=0.05)]
+        payload = rows_to_json(rows)
+        assert payload["schema"] == "omp4py-projection-validation/1"
+        assert payload["backend"] == "gil"
+        assert payload["bound"] == DEFAULT_BOUND
+        assert payload["max_error"] == 0.05
+        assert payload["passed"] is True
+        assert len(payload["rows"]) == 2
+        json.dumps(payload)  # round-trippable
+
+    def test_json_failed_row_fails_payload(self):
+        payload = rows_to_json([_row(), _row(error=0.9, passed=False)])
+        assert payload["passed"] is False
+        assert payload["max_error"] == 0.9
+
+    def test_markdown_table(self):
+        text = rows_to_markdown([_row(), _row(error=0.9,
+                                              passed=False)])
+        assert "| app | threads | check |" in text
+        assert "✅ pass" in text and "❌ FAIL" in text
+        # GIL caveat footer present on the gil backend...
+        assert "convergence is unobservable" in text
+
+    def test_markdown_nogil_has_no_gil_caveat(self):
+        text = rows_to_markdown([_row(backend="nogil",
+                                      kind="convergence")])
+        assert "convergence is unobservable" not in text
+
+    def test_row_line_format(self):
+        line = _row(error=0.123, passed=False).line()
+        assert "12.3%" in line and line.endswith("FAIL")
+
+
+class TestCli:
+    def test_check_passes_on_this_interpreter(self, tmp_path, capsys):
+        json_path = tmp_path / "v.json"
+        md_path = tmp_path / "v.md"
+        rc = validate.main([
+            "--apps", "pi", "--threads", "2", "--repeats", "1",
+            "--check", "--json", str(json_path),
+            "--summary", str(md_path)])
+        assert rc == 0
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["passed"] is True
+        assert "Projection validation" in md_path.read_text(
+            encoding="utf-8")
+        out = capsys.readouterr().out
+        assert "PROJECTION VALIDATION" in out
+        assert "PASS" in out
+
+    def test_check_fails_on_impossible_bound(self, monkeypatch,
+                                             capsys):
+        # Force a failing row rather than hoping a real run misses an
+        # absurd bound.
+        monkeypatch.setattr(
+            validate, "run_validation",
+            lambda **kwargs: [_row(error=0.5, passed=False)])
+        rc = validate.main(["--check"])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_no_check_never_fails_exit_code(self, monkeypatch):
+        monkeypatch.setattr(
+            validate, "run_validation",
+            lambda **kwargs: [_row(error=0.5, passed=False)])
+        assert validate.main([]) == 0
+
+    def test_bound_flag_threads_through(self, monkeypatch):
+        seen = {}
+
+        def fake_run(**kwargs):
+            seen.update(kwargs)
+            return [_row()]
+
+        monkeypatch.setattr(validate, "run_validation", fake_run)
+        validate.main(["--bound", "0.1", "--threads", "8",
+                       "--repeats", "5", "--apps", "pi,wordcount"])
+        assert seen["bound"] == 0.1
+        assert seen["threads"] == 8
+        assert seen["repeats"] == 5
+        assert seen["apps"] == ["pi", "wordcount"]
