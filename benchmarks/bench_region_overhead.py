@@ -123,7 +123,16 @@ def smoke_records(threads: int = 4, regions: int = 200,
             f"{threads} threads ({result['ratio']:.2f}x)")
     print(f"[reproduce] {line}")
     failures = []
-    if result["ratio"] < 2.0:
+    # The 2x bound characterizes the disarmed dispatch path.  With the
+    # tracer recording (OMP4PY_TRACE / OMP4PY_METRICS_PORT armed for
+    # the whole smoke process) every region pays a constant per-event
+    # cost on top, which compresses the hot/cold ratio without saying
+    # anything about the pool — so armed runs keep the measurement but
+    # skip the ratio verdict.
+    if pure_runtime.tracer.enabled:
+        print("[reproduce] region-overhead: ratio gate skipped "
+              "(tracer armed)")
+    elif result["ratio"] < 2.0:
         failures.append(
             f"region-overhead: hot teams only {result['ratio']:.2f}x "
             f"faster than spawn-per-region (need >= 2x)")

@@ -151,6 +151,10 @@ def write_bench_json(out_dir: pathlib.Path, records: list[dict]) -> None:
         "diagnostics": {
             "OMP4PY_FLIGHT": os.environ.get("OMP4PY_FLIGHT"),
             "OMP4PY_WATCHDOG": os.environ.get("OMP4PY_WATCHDOG"),
+            "OMP4PY_TRACE": os.environ.get("OMP4PY_TRACE"),
+            "OMP4PY_METRICS": os.environ.get("OMP4PY_METRICS"),
+            "OMP4PY_METRICS_PORT": os.environ.get(
+                "OMP4PY_METRICS_PORT"),
         },
         "total_wall_s": sum(r["wall_s"] for r in records),
         "kernels": records,

@@ -1,0 +1,46 @@
+"""Seeded bottleneck: a lock convoy on one named critical section.
+
+Four threads each do a tiny slice of real work and then queue on the
+same ``critical(hot)`` section for a comparatively long protected
+update — the textbook convoy: the threads serialize behind the lock
+and the region's wall time approaches the sum of all hold times.  The
+program completes (it is slow, not stuck); run it under the scaling
+explainer and the dominant finding names the ``critical`` directive at
+the source line of the ``with omp("critical(hot)")`` below::
+
+    python -m repro.explain examples/faults/lock_convoy.py
+
+Expected report: dominant bottleneck **lock-convoy** at
+``examples/faults/lock_convoy.py`` with a "what-if this lock were
+free" critical-path gain close to the total queueing time.
+"""
+
+import time
+
+from repro import omp
+
+#: Iterations per thread; each one re-enters the contended section.
+ROUNDS = 20
+#: Seconds held inside the critical section per visit (the convoy).
+HOLD_S = 0.002
+
+
+@omp
+def convoy(rounds=ROUNDS, hold_s=HOLD_S):
+    shared = {"total": 0.0}
+    with omp("parallel num_threads(4)"):
+        for _ in range(rounds):
+            local = hold_s * 0.05  # tiny unprotected slice of work
+            time.sleep(local)
+            with omp("critical(hot)"):
+                time.sleep(hold_s)  # long protected update
+                shared["total"] += local
+    return shared["total"]
+
+
+if __name__ == "__main__":
+    begin = time.perf_counter()
+    total = convoy()
+    elapsed = time.perf_counter() - begin
+    print(f"lock_convoy: total={total:.6f} wall={elapsed:.3f}s "
+          f"(ideal ~{ROUNDS * HOLD_S * 4:.3f}s serialized)")

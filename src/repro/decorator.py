@@ -28,8 +28,9 @@ _HANDLE_COUNTER = itertools.count()
 def runtime_for(mode: Mode):
     """The runtime instance a mode binds as ``__omp__``.
 
-    When the ``OMP4PY_TRACE`` / ``OMP4PY_METRICS`` environment knobs
-    are set, the returned runtime is auto-instrumented on the way out
+    When the ``OMP4PY_TRACE`` / ``OMP4PY_METRICS`` /
+    ``OMP4PY_METRICS_PORT`` environment knobs are set, the returned
+    runtime is auto-instrumented on the way out
     (see :mod:`repro.ompt.auto`); likewise ``OMP4PY_FLIGHT`` /
     ``OMP4PY_WATCHDOG`` arm the hang diagnostics
     (:mod:`repro.diagnostics.auto`).  Unset knobs cost a few
@@ -42,7 +43,8 @@ def runtime_for(mode: Mode):
         from repro.cruntime import cruntime
         runtime = cruntime
     from repro import env
-    if env.trace_spec() is not None or env.metrics_spec() is not None:
+    if env.trace_spec() is not None or env.metrics_spec() is not None \
+            or env.metrics_port() is not None:
         from repro.ompt.auto import auto_instrument
         auto_instrument(runtime)
     if env.flight_spec() is not None or env.watchdog_spec() is not None:

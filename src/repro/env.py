@@ -16,7 +16,10 @@ Two families of variables are honoured, mirroring the paper:
   ``OMP4PY_FORCE``, ``OMP4PY_MODE``, ``OMP4PY_LINT``), plus the
   observability knobs ``OMP4PY_TRACE`` and ``OMP4PY_METRICS`` that
   auto-instrument every runtime bound by the ``@omp`` decorator (see
-  :mod:`repro.ompt.auto` and docs/observability.md), and the hang
+  :mod:`repro.ompt.auto` and docs/observability.md),
+  ``OMP4PY_METRICS_PORT`` serving live ``/metrics`` (Prometheus) and
+  ``/explain`` (DAG summary) over HTTP while the workload runs
+  (:mod:`repro.explain.live`), and the hang
   diagnostics knobs ``OMP4PY_FLIGHT`` (flight recorder: truthy,
   a ring capacity, an output path, or ``capacity:path``),
   ``OMP4PY_WATCHDOG`` (stall watchdog: truthy for the default
@@ -282,6 +285,32 @@ def trace_spec() -> str | None:
 def metrics_spec() -> str | None:
     """``OMP4PY_METRICS``: ``None`` / ``"1"`` / an output path."""
     return _observability_spec("OMP4PY_METRICS")
+
+
+def metrics_port() -> int | None:
+    """``OMP4PY_METRICS_PORT``: serve live ``/metrics`` + ``/explain``.
+
+    ``None`` when unset/off; otherwise a TCP port for the in-process
+    observability endpoint (:mod:`repro.explain.live`).  ``0`` binds an
+    ephemeral port (announced on stderr by the auto-instrument path).
+    """
+    raw = os.environ.get("OMP4PY_METRICS_PORT")
+    if raw is None:
+        return None
+    value = raw.strip()
+    # "0" is a valid request (bind an ephemeral port), so unlike the
+    # other knobs only the word-y false spellings disable this one.
+    if not value or value.lower() in ("false", "no", "off"):
+        return None
+    try:
+        port = int(value)
+    except ValueError:
+        raise OmpError(f"OMP4PY_METRICS_PORT must be a TCP port number, "
+                       f"got {raw!r}") from None
+    if not 0 <= port <= 65535:
+        raise OmpError(f"OMP4PY_METRICS_PORT must be in [0, 65535], "
+                       f"got {port}")
+    return port
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,0 +1,15 @@
+"""Scaling explainer: critical path, contention, and live metrics.
+
+``python -m repro.explain`` reconstructs the region/task/sync DAG from
+an OMPT trace (:mod:`repro.explain.dag`), computes the critical path,
+attributes lost parallelism to named causes at user source lines
+(:mod:`repro.explain.bottlenecks`), and fits Amdahl/USL speedup models
+over multi-thread runs (:mod:`repro.explain.model`).  The live side
+(:mod:`repro.explain.live`) serves ``/metrics`` and ``/explain`` over
+HTTP while a workload runs, armed via ``OMP4PY_METRICS_PORT``.
+"""
+
+from repro.explain.bottlenecks import Finding, classify
+from repro.explain.dag import DagAnalysis, build_dag
+
+__all__ = ["DagAnalysis", "Finding", "build_dag", "classify"]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.explain``."""
+
+import sys
+
+from repro.explain.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

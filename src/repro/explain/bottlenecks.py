@@ -1,0 +1,251 @@
+"""Bottleneck taxonomy: name the cause of lost parallelism.
+
+Each finding attributes lost thread-seconds to one named cause at a
+user source line (via the origin registry, so sites inside generated
+``<omp4py:...>`` code resolve to the user's editor coordinates):
+
+* ``serial-fraction`` — span outside every parallel region (Amdahl's
+  law caps the speedup at ``1/s``);
+* ``lock-convoy`` — threads queueing on one mutex (critical/atomic/
+  lock), with a "what-if this lock were free" critical-path rerun;
+* ``barrier-imbalance`` — threads arriving at a barrier at spread-out
+  times, so early arrivals idle;
+* ``steal-starvation`` — task-region threads idling at taskwait/join
+  while work exists but isn't reachable by stealing;
+* ``ordered-serialization`` — an ``ordered`` clause forcing loop
+  iterations into sequential order;
+* ``gil-serialization`` — the gap between measured wall time and the
+  projection model's no-GIL estimate (gil backend only; the cross
+  check against the nogil backend split of docs/projection.md).
+
+``lost_s`` is thread-seconds (summed across threads); ``fraction``
+normalizes by ``span × nthreads`` so findings are comparable across
+runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.explain.dag import DagAnalysis, build_dag
+
+#: Findings below this fraction of total thread-time are noise.
+MIN_FRACTION = 0.005
+
+
+@dataclasses.dataclass
+class Finding:
+    """One attributed cause of lost parallelism."""
+
+    category: str
+    lost_s: float
+    fraction: float
+    message: str
+    location: str | None = None
+    directive: str | None = None
+    extra: dict = dataclasses.field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        payload = {
+            "category": self.category,
+            "lost_s": self.lost_s,
+            "fraction": self.fraction,
+            "message": self.message,
+            "location": self.location,
+            "directive": self.directive,
+        }
+        if self.extra:
+            payload.update(self.extra)
+        return payload
+
+
+def _site_str(site) -> str | None:
+    if not site:
+        return None
+    from repro.diagnostics.origin import format_location
+    return format_location(site[0], site[1])
+
+
+def _mutex_directive(kind) -> str:
+    return {"critical": "critical", "atomic": "atomic",
+            "lock": "omp_set_lock", "nest_lock": "omp_set_nest_lock",
+            }.get(kind, str(kind))
+
+
+def classify(analysis: DagAnalysis, *, nthreads: int,
+             wall: float | None = None, measurement=None,
+             events=None) -> list[Finding]:
+    """Rank the causes of lost parallelism, worst first.
+
+    ``events`` (the raw trace) enables the lock-convoy what-if rerun;
+    ``measurement`` (an :class:`~repro.analysis.timing.Measurement`)
+    enables the gil-serialization cross-check.
+    """
+    findings: list[Finding] = []
+    span = analysis.span_s
+    nthreads = max(1, nthreads)
+    budget = span * nthreads  # total thread-seconds in the recording
+    if budget <= 0:
+        return findings
+
+    # -- serial fraction -------------------------------------------------
+    serial = analysis.serial_s
+    if serial > 0:
+        s = analysis.serial_fraction
+        ceiling = 1.0 / (s + (1.0 - s) / nthreads) if s < 1.0 else 1.0
+        lost = serial * (nthreads - 1)
+        site = None
+        for meta in analysis.regions.values():
+            if meta["site"]:
+                site = meta["site"]
+                break
+        findings.append(Finding(
+            category="serial-fraction", lost_s=lost,
+            fraction=lost / budget,
+            message=(f"{serial:.4f}s of the {span:.4f}s span runs "
+                     f"outside every parallel region; Amdahl caps the "
+                     f"speedup at {ceiling:.2f}x on {nthreads} "
+                     f"threads"),
+            location=_site_str(site), directive="parallel",
+            extra={"serial_s": serial, "serial_fraction": s,
+                   "amdahl_ceiling": ceiling}))
+
+    # -- lock convoy -----------------------------------------------------
+    for handle, entry in sorted(analysis.mutexes.items(),
+                                key=lambda item: item[1]["wait_s"],
+                                reverse=True):
+        if entry["wait_s"] <= 0:
+            continue
+        kind = handle[0] if handle else "mutex"
+        what_if = None
+        if events is not None:
+            # Optimistic (zero-weight causal) DAGs on both sides: the
+            # dependency-chain shortening a removed lock would buy.
+            baseline = build_dag(events, causal_elapsed=False)
+            freed = build_dag(events, free_mutexes={handle},
+                              causal_elapsed=False)
+            what_if = max(0.0, baseline.critical_path_s
+                          - freed.critical_path_s)
+        name = handle[1] if len(handle) > 1 else ""
+        label = f"{kind}" + (f"({name})" if name not in ("", "atomic")
+                             and kind == "critical" else "")
+        message = (f"{entry['wait_s']:.4f}s queueing on {label} "
+                   f"({entry['contended']} of {entry['count']} "
+                   f"acquisitions contended)")
+        if what_if is not None:
+            message += (f"; a free {kind} would shorten the critical "
+                        f"path by {what_if:.4f}s")
+        findings.append(Finding(
+            category="lock-convoy", lost_s=entry["wait_s"],
+            fraction=entry["wait_s"] / budget, message=message,
+            location=_site_str(entry["site"]),
+            directive=_mutex_directive(kind),
+            extra={"mutex_kind": kind,
+                   "acquisitions": entry["count"],
+                   "contended": entry["contended"],
+                   "what_if_critical_path_gain_s": what_if}))
+
+    # -- barrier imbalance -----------------------------------------------
+    for site, entry in sorted(analysis.barrier_sites.items(),
+                              key=lambda item: item[1]["wait_s"],
+                              reverse=True):
+        if entry["wait_s"] <= 0:
+            continue
+        findings.append(Finding(
+            category="barrier-imbalance", lost_s=entry["wait_s"],
+            fraction=entry["wait_s"] / budget,
+            message=(f"{entry['wait_s']:.4f}s of barrier wait over "
+                     f"{entry['count']} barrier instance(s); arrival "
+                     f"spread {entry['spread_s']:.4f}s — threads "
+                     f"finish their shares at different times"),
+            location=_site_str(site), directive="barrier",
+            extra={"instances": entry["count"],
+                   "arrival_spread_s": entry["spread_s"]}))
+
+    # -- implicit join imbalance (folded into barrier category) ----------
+    if analysis.join_wait_s > 0 and analysis.regions:
+        site = None
+        for meta in analysis.regions.values():
+            if meta["site"]:
+                site = meta["site"]
+                break
+        findings.append(Finding(
+            category="barrier-imbalance", lost_s=analysis.join_wait_s,
+            fraction=analysis.join_wait_s / budget,
+            message=(f"{analysis.join_wait_s:.4f}s waiting at the "
+                     f"implicit region join — uneven member "
+                     f"workloads"),
+            location=_site_str(site), directive="parallel",
+            extra={"join_wait_s": analysis.join_wait_s}))
+
+    # -- steal starvation -------------------------------------------------
+    if analysis.tasks_submitted and analysis.taskwait_s > 0:
+        total_steals = sum(analysis.steals_by_thread.values())
+        idle_threads = [t for t in analysis.threads
+                        if analysis.steals_by_thread.get(t, 0) == 0]
+        site = None
+        for meta in analysis.regions.values():
+            if meta["site"]:
+                site = meta["site"]
+                break
+        findings.append(Finding(
+            category="steal-starvation", lost_s=analysis.taskwait_s,
+            fraction=analysis.taskwait_s / budget,
+            message=(f"{analysis.taskwait_s:.4f}s inside taskwait "
+                     f"across {analysis.tasks_submitted} tasks; "
+                     f"{total_steals} steals, "
+                     f"{len(idle_threads)} thread(s) never stole — "
+                     f"task granularity or deque locality limits "
+                     f"work distribution"),
+            location=_site_str(site), directive="taskwait",
+            extra={"taskwait_s": analysis.taskwait_s,
+                   "tasks": analysis.tasks_submitted,
+                   "steals": total_steals}))
+
+    # -- ordered serialization --------------------------------------------
+    for site, entry in sorted(analysis.ordered_sites.items(),
+                              key=lambda item: item[1]["wait_s"],
+                              reverse=True):
+        if entry["wait_s"] <= 0:
+            continue
+        findings.append(Finding(
+            category="ordered-serialization", lost_s=entry["wait_s"],
+            fraction=entry["wait_s"] / budget,
+            message=(f"{entry['wait_s']:.4f}s waiting for iteration "
+                     f"order over {entry['count']} ordered "
+                     f"region(s) — the clause serializes the loop"),
+            location=_site_str(site), directive="ordered",
+            extra={"ordered_regions": entry["count"]}))
+
+    # -- GIL serialization -------------------------------------------------
+    if measurement is not None and wall is not None \
+            and getattr(measurement, "backend", None) == "gil" \
+            and measurement.model_projected is not None:
+        gil_lost_wall = max(0.0, wall - measurement.model_projected)
+        if gil_lost_wall > 0:
+            site = None
+            busiest = None
+            for meta in analysis.regions.values():
+                width = ((meta["end"] or meta["begin"])
+                         - meta["begin"]) * meta["size"]
+                if busiest is None or width > busiest:
+                    busiest = width
+                    site = meta["site"]
+            findings.append(Finding(
+                category="gil-serialization",
+                lost_s=gil_lost_wall * nthreads,
+                fraction=min(1.0, gil_lost_wall / max(wall, 1e-12)),
+                message=(f"the GIL serializes {gil_lost_wall:.4f}s of "
+                         f"the {wall:.4f}s wall time — a free-threaded "
+                         f"interpreter (projection model) would run "
+                         f"this in ~{measurement.model_projected:.4f}s"
+                         ),
+                location=_site_str(site), directive="parallel",
+                extra={"wall_s": wall,
+                       "model_projected_s":
+                           measurement.model_projected}))
+
+    findings = [f for f in findings if f.fraction >= MIN_FRACTION
+                or f.lost_s >= 0.05]
+    findings.sort(key=lambda f: f.lost_s, reverse=True)
+    return findings

@@ -1,0 +1,144 @@
+"""Speedup-model fits: Amdahl's law and the Universal Scalability Law.
+
+Both fit ``(threads, seconds)`` points from multi-thread runs (the
+``projected`` field of :class:`~repro.analysis.timing.Measurement`,
+which is modelled on the gil backend and measured on nogil — see
+docs/projection.md) and predict per-app speedup ceilings:
+
+* **Amdahl** — ``T(n) = T1·(s + (1−s)/n)``: a single serial fraction
+  ``s``; closed-form least squares; ceiling ``1/s``.
+* **USL** (Gunther) — ``S(n) = n / (1 + σ(n−1) + κ·n(n−1))``: adds a
+  coherency term ``κ`` that makes throughput *retrograde* past
+  ``n* = √((1−σ)/κ)`` — the shape the paper's flatlining apps show.
+
+Grid-search with deterministic refinement keeps the fits dependency
+free (no scipy at runtime).
+"""
+
+from __future__ import annotations
+
+
+def _t1_of(points: list[tuple[int, float]]) -> float:
+    """Baseline single-thread time: the measured n=1 point, or the
+    smallest-n point scaled back through ideal speedup (a deliberately
+    optimistic fallback)."""
+    by_n = dict(points)
+    if 1 in by_n:
+        return by_n[1]
+    n, t = min(points)
+    return t * n
+
+
+def amdahl_fit(points) -> dict | None:
+    """Least-squares Amdahl fit over ``[(threads, seconds), ...]``.
+
+    With ``y(n) = T(n)/T1`` the model is ``y = s·(1 − 1/n) + 1/n``,
+    linear in ``s`` — so the least-squares serial fraction is closed
+    form.  Returns ``None`` when fewer than two distinct thread counts
+    are available.
+    """
+    points = sorted({(int(n), float(t)) for n, t in points})
+    if len({n for n, _t in points}) < 2:
+        return None
+    t1 = _t1_of(points)
+    if t1 <= 0:
+        return None
+    numerator = 0.0
+    denominator = 0.0
+    for n, t in points:
+        x = 1.0 - 1.0 / n
+        if x == 0.0:
+            continue
+        numerator += (t / t1 - 1.0 / n) * x
+        denominator += x * x
+    s = min(1.0, max(0.0, numerator / denominator)) if denominator \
+        else 0.0
+    ceiling = (1.0 / s) if s > 0 else float("inf")
+    return {
+        "serial_fraction": s,
+        "t1_s": t1,
+        "speedup_ceiling": ceiling,
+        "predicted_speedup": {
+            str(n): 1.0 / (s + (1.0 - s) / n) for n, _t in points},
+        "points": [{"threads": n, "seconds": t, "speedup": t1 / t}
+                   for n, t in points],
+    }
+
+
+def _usl_speedup(n: int, sigma: float, kappa: float) -> float:
+    return n / (1.0 + sigma * (n - 1) + kappa * n * (n - 1))
+
+
+def usl_fit(points, *, refinements: int = 3) -> dict | None:
+    """Universal Scalability Law fit via refined grid search.
+
+    Returns ``sigma`` (contention), ``kappa`` (coherency), the peak
+    concurrency ``n*`` and peak speedup, or ``None`` with fewer than
+    two distinct thread counts.
+    """
+    points = sorted({(int(n), float(t)) for n, t in points})
+    if len({n for n, _t in points}) < 2:
+        return None
+    t1 = _t1_of(points)
+    if t1 <= 0:
+        return None
+    speedups = [(n, t1 / t) for n, t in points if t > 0]
+
+    def error(sigma: float, kappa: float) -> float:
+        return sum((_usl_speedup(n, sigma, kappa) - s) ** 2
+                   for n, s in speedups)
+
+    lo_s, hi_s = 0.0, 1.0
+    lo_k, hi_k = 0.0, 0.2
+    best = (0.0, 0.0)
+    steps = 20
+    for _round in range(refinements):
+        best_err = None
+        for i in range(steps + 1):
+            sigma = lo_s + (hi_s - lo_s) * i / steps
+            for j in range(steps + 1):
+                kappa = lo_k + (hi_k - lo_k) * j / steps
+                err = error(sigma, kappa)
+                if best_err is None or err < best_err:
+                    best_err = err
+                    best = (sigma, kappa)
+        span_s = (hi_s - lo_s) / steps * 2
+        span_k = (hi_k - lo_k) / steps * 2
+        lo_s = max(0.0, best[0] - span_s)
+        hi_s = min(1.0, best[0] + span_s)
+        lo_k = max(0.0, best[1] - span_k)
+        hi_k = best[1] + span_k
+    sigma, kappa = best
+    if kappa > 0:
+        peak_n = max(1.0, ((1.0 - sigma) / kappa) ** 0.5)
+    else:
+        peak_n = float("inf")
+    peak = _usl_speedup(max(1, round(peak_n)), sigma, kappa) \
+        if peak_n != float("inf") else None
+    return {
+        "sigma": sigma,
+        "kappa": kappa,
+        "peak_threads": peak_n,
+        "peak_speedup": peak,
+        "predicted_speedup": {
+            str(n): _usl_speedup(n, sigma, kappa)
+            for n, _t in points},
+        "points": [{"threads": n, "seconds": t, "speedup": t1 / t}
+                   for n, t in points],
+    }
+
+
+def fit_models(points) -> dict | None:
+    """Both fits over one point set, plus the headline prediction."""
+    amdahl = amdahl_fit(points)
+    usl = usl_fit(points)
+    if amdahl is None and usl is None:
+        return None
+    result: dict = {"amdahl": amdahl, "usl": usl}
+    if amdahl is not None:
+        result["speedup_ceiling"] = amdahl["speedup_ceiling"]
+    if usl is not None and usl["peak_speedup"] is not None:
+        ceiling = result.get("speedup_ceiling")
+        result["speedup_ceiling"] = usl["peak_speedup"] if ceiling is \
+            None else min(ceiling, usl["peak_speedup"])
+    return result

@@ -1,5 +1,5 @@
 """Environment-driven auto-instrumentation (``OMP4PY_TRACE`` /
-``OMP4PY_METRICS``).
+``OMP4PY_METRICS`` / ``OMP4PY_METRICS_PORT``).
 
 The ``@omp`` decorator asks this module to instrument the runtime it is
 about to bind.  Each knob is ``off`` (unset/false), ``on`` (a true
@@ -7,6 +7,12 @@ string — collect in memory, artifacts retrievable via the API), or an
 output *path* — collect and write the artifact at interpreter exit
 (Chrome trace JSON for ``OMP4PY_TRACE``; Prometheus text, or the JSON
 report when the path ends in ``.json``, for ``OMP4PY_METRICS``).
+
+``OMP4PY_METRICS_PORT`` additionally arms the tracer and a metrics
+tool and serves live ``/metrics`` (Prometheus text) and ``/explain``
+(critical-path DAG summary JSON) over HTTP for the lifetime of the
+process (:class:`repro.explain.live.MetricsServer`); port ``0`` binds
+an ephemeral port, announced on stderr.
 
 Instrumentation is idempotent per runtime instance and reversible with
 :func:`deactivate` (used by tests and the profile CLI, which manage
@@ -20,32 +26,50 @@ import sys
 
 from repro import env
 
-#: id(runtime) → (runtime, attached MetricsTool | None) for every
-#: runtime this module instrumented (identity-keyed: runtimes are
-#: singletons that must not be kept alive through hashing semantics).
+#: id(runtime) → (runtime, attached MetricsTool | None,
+#: MetricsServer | None) for every runtime this module instrumented
+#: (identity-keyed: runtimes are singletons that must not be kept
+#: alive through hashing semantics).
 _active: dict[int, tuple] = {}
 
 
 def auto_instrument(runtime) -> None:
-    """Honour the env knobs for ``runtime`` (no-op when both are off)."""
+    """Honour the env knobs for ``runtime`` (no-op when all are off)."""
     trace = env.trace_spec()
     metrics = env.metrics_spec()
-    if trace is None and metrics is None:
+    port = env.metrics_port()
+    if trace is None and metrics is None and port is None:
         return
     if id(runtime) in _active:
         return
     tool = None
-    if trace is not None:
+    if trace is not None or port is not None:
         runtime.tracer.start()
-        if trace != "1":
+        if trace is not None and trace != "1":
             atexit.register(_write_trace, runtime, trace)
-    if metrics is not None:
+    if metrics is not None or port is not None:
         from repro.ompt.metrics import MetricsTool
         tool = MetricsTool()
         runtime.attach_tool(tool)
-        if metrics != "1":
+        if metrics is not None and metrics != "1":
             atexit.register(_write_metrics, runtime, tool, metrics)
-    _active[id(runtime)] = (runtime, tool)
+    server = None
+    if port is not None:
+        from repro.explain.live import MetricsServer
+        server = MetricsServer(runtime, registry=tool.registry,
+                               port=port)
+        try:
+            server.start()
+        except OSError as error:
+            print(f"omp4py: cannot serve metrics on port {port}: "
+                  f"{error}", file=sys.stderr)
+            server = None
+        else:
+            print(f"omp4py: live metrics ({runtime.name}) at "
+                  f"{server.url}/metrics (explain at /explain)",
+                  file=sys.stderr)
+            atexit.register(server.stop)
+    _active[id(runtime)] = (runtime, tool, server)
 
 
 def active_tool(runtime):
@@ -54,12 +78,20 @@ def active_tool(runtime):
     return entry[1] if entry else None
 
 
+def active_server(runtime):
+    """The live MetricsServer for ``runtime``, if any."""
+    entry = _active.get(id(runtime))
+    return entry[2] if entry else None
+
+
 def deactivate(runtime) -> None:
     """Undo :func:`auto_instrument` for one runtime."""
     entry = _active.pop(id(runtime), None)
     if entry is None:
         return
-    _runtime, tool = entry
+    _runtime, tool, server = entry
+    if server is not None:
+        server.stop()
     if tool is not None:
         runtime.detach_tool(tool)
     runtime.tracer.stop()

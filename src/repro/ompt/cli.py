@@ -55,6 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="artifact output directory")
     parser.add_argument("--trace-capacity", type=int, default=None,
                         help="override the tracer's event-buffer bound")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero when the trace dropped "
+                             "events (incomplete artifacts)")
     return parser
 
 
@@ -173,6 +176,10 @@ def main(argv=None) -> int:
               file=sys.stderr)
     _print_summary(report)
     print(f"[profile] artifacts: {trace_path}, {prom_path}, {json_path}")
+    if args.strict and dropped:
+        print(f"[profile] STRICT: failing — {dropped} dropped event(s)",
+              file=sys.stderr)
+        return 1
     return 0
 
 

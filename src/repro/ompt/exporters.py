@@ -74,13 +74,34 @@ def chrome_trace_events(events, *, pid: int = 1) -> list[dict]:
 
 
 def chrome_trace(events, *, dropped: int = 0, metadata=None) -> dict:
-    """Full Perfetto-loadable trace document (JSON object format)."""
+    """Full Perfetto-loadable trace document (JSON object format).
+
+    ``otherData`` carries enough to correlate the trace with the world
+    outside the process: the execution backend, the number of distinct
+    threads observed, and — when the event log has an epoch anchor
+    (:attr:`repro.runtime.trace.TraceLog.anchor`) — the monotonic→unix
+    offset plus the absolute start time, so trace timestamps can be
+    lined up against wall-clock logs and Prometheus scrapes.
+    """
+    other = {"producer": "repro.ompt",
+             "events": len(events),
+             "dropped_events": dropped,
+             "threads_observed":
+                 len({event.thread for event in events})}
+    from repro.runtime.gilstate import current_backend
+    other["backend"] = current_backend().value
+    anchor = getattr(events, "anchor", None)
+    if anchor is not None:
+        unix_s, monotonic_s = anchor
+        offset = unix_s - monotonic_s
+        other["monotonic_to_unix_offset_s"] = offset
+        if events:
+            base = min(event.timestamp for event in events)
+            other["epoch_start_unix_s"] = base + offset
     payload = {
         "traceEvents": chrome_trace_events(events),
         "displayTimeUnit": "ms",
-        "otherData": {"producer": "repro.ompt",
-                      "events": len(events),
-                      "dropped_events": dropped},
+        "otherData": other,
     }
     if metadata:
         payload["otherData"].update(metadata)

@@ -24,7 +24,8 @@ class TaskFrame:
     """
 
     __slots__ = ("team", "thread_num", "parent", "kind", "nthreads_var",
-                 "ws_counter", "children", "depend_map", "depend_refs")
+                 "ws_counter", "children", "depend_map", "depend_refs",
+                 "task_id")
 
     def __init__(self, team, thread_num: int, parent: "TaskFrame | None",
                  kind: str, nthreads_var: int):
@@ -32,6 +33,10 @@ class TaskFrame:
         self.thread_num = thread_num
         self.parent = parent
         self.kind = kind
+        #: ``id(TaskNode)`` when this frame executes an explicit task,
+        #: else 0 — the parent link recorded by ``task_submit`` and
+        #: ``taskwait`` trace events (see :mod:`repro.explain.dag`).
+        self.task_id = 0
         #: ICV controlling the size of the next team this task forks.
         self.nthreads_var = nthreads_var
         #: Count of worksharing regions this thread has encountered in

@@ -10,6 +10,7 @@ runtime is an independent initial thread to the other.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 
@@ -21,7 +22,12 @@ from repro.runtime.locks import OmpLock, OmpNestLock
 from repro.runtime.stats import StatsCollector
 from repro.runtime.tasking import TaskNode
 from repro.runtime.team import BACKOFF_MIN, Team, next_backoff
-from repro.runtime.trace import Tracer
+from repro.runtime.trace import Tracer, caller_site
+
+#: Process-wide parallel-region ids: the key the explain DAG builder
+#: uses to group fork/join, implicit-task, and barrier events of one
+#: region instance (0 = the implicit serial region).
+_REGION_IDS = itertools.count(1)
 
 
 class _Undefined:
@@ -160,8 +166,10 @@ class OmpRuntime:
         frame = self.current_frame()
         size = self._decide_team_size(frame, num_threads, if_)
         team = Team(self, frame, size)
+        team.region_id = next(_REGION_IDS)
         if self.tracer.enabled:
-            self.tracer.record("region_fork", frame.thread_num, size)
+            self.tracer.record("region_fork", frame.thread_num, size,
+                               team.region_id, *caller_site())
         tool = self.tool
         if tool is not None:
             tool.parallel_begin(frame.thread_num, size)
@@ -178,6 +186,8 @@ class OmpRuntime:
             stack = self._stack()
             stack.append(TaskFrame(team, index, frame, "implicit",
                                    frame.nthreads_var))
+            if self.tracer.enabled:
+                self.tracer.record("itask_begin", index, team.region_id)
             if tool is not None:
                 tool.implicit_task(index, "begin", size)
             if diag is not None:
@@ -191,6 +201,12 @@ class OmpRuntime:
             except BaseException as error:  # noqa: BLE001 - re-raised at join
                 team.record_error(index, error)
             finally:
+                if self.tracer.enabled:
+                    # itask_end doubles as the join-barrier release, so
+                    # the enter must be a separate event or the DAG
+                    # would fold join wait into member compute.
+                    self.tracer.record("join_enter", index,
+                                       team.region_id)
                 try:
                     team.barrier.wait(self._run_one_task, index)
                 except BaseException as error:  # noqa: BLE001
@@ -200,6 +216,8 @@ class OmpRuntime:
                     # never arrive at any further barrier of this team.
                     diag.thread_exit(team, index)
                 team.cpu_times[index] = time.thread_time() - begin
+                if self.tracer.enabled:
+                    self.tracer.record("itask_end", index, team.region_id)
                 if tool is not None:
                     tool.implicit_task(index, "end", size)
                 stack.pop()
@@ -214,7 +232,8 @@ class OmpRuntime:
             for worker in workers:
                 worker.join()
         if self.tracer.enabled:
-            self.tracer.record("region_join", frame.thread_num, size)
+            self.tracer.record("region_join", frame.thread_num, size,
+                               team.region_id)
         if diag is not None:
             diag.team_end(team)
         if tool is not None:
@@ -337,8 +356,16 @@ class OmpRuntime:
         return tuple(divisors)
 
     def ordered_start(self, bounds, value) -> None:
+        if not self.tracer.enabled:
+            worksharing.ordered_start(
+                bounds, worksharing.linear_index(bounds, value))
+            return
+        site = caller_site()
+        begin = time.perf_counter()
         worksharing.ordered_start(
             bounds, worksharing.linear_index(bounds, value))
+        self.tracer.record("ordered_wait", bounds[2].thread_num,
+                           time.perf_counter() - begin, *site)
 
     def ordered_end(self, bounds, value) -> None:
         worksharing.ordered_end(
@@ -385,8 +412,10 @@ class OmpRuntime:
             raise OmpRuntimeError("barrier inside an explicit task")
         tool = self.tool
         tracing = self.tracer.enabled
+        region_id = frame.team.region_id
         if tracing:
-            self.tracer.record("barrier_enter", frame.thread_num)
+            self.tracer.record("barrier_enter", frame.thread_num,
+                               region_id, *caller_site())
         if tool is not None:
             tool.sync_region(frame.thread_num, "barrier", "enter", None)
         begin = time.perf_counter() if (tracing or tool is not None) \
@@ -400,7 +429,7 @@ class OmpRuntime:
             wait = time.perf_counter() - begin
             if tracing:
                 self.tracer.record("barrier_release", frame.thread_num,
-                                   wait)
+                                   wait, region_id)
             if tool is not None:
                 tool.sync_region(frame.thread_num, "barrier", "release",
                                  wait)
@@ -412,7 +441,7 @@ class OmpRuntime:
         if diag is not None:
             self._acquire_diagnosed(lock, tool, diag, "critical", name,
                                     ("critical", name))
-        elif tool is None:
+        elif tool is None and not self.tracer.enabled:
             lock.acquire()
         else:
             self._acquire_instrumented(lock, tool, "critical", name)
@@ -424,34 +453,56 @@ class OmpRuntime:
             # ownership write can never be clobbered by this release.
             diag.resource_released(("critical", name))
         self._critical_lock(name).release()
+        if self.tracer.enabled:
+            self.tracer.record("mutex_released", self.get_thread_num(),
+                               "critical", name)
         tool = self.tool
         if tool is not None:
             tool.mutex_released(self.get_thread_num(), "critical", name)
 
+    def _record_acquired(self, thread: int, kind: str, handle,
+                         wait: float) -> None:
+        """Trace a mutex acquisition (hold-interval open) with the
+        measured wait and the acquiring call site."""
+        self.tracer.record("mutex_acquired", thread, kind, handle, wait,
+                           *caller_site())
+
     def _acquire_instrumented(self, lock, tool, kind: str,
                               handle) -> None:
-        """Acquire ``lock`` dispatching mutex hooks; the contended path
-        (``mutex_acquire`` + timed wait) only fires when a non-blocking
-        attempt fails."""
+        """Acquire ``lock`` dispatching mutex hooks and/or trace
+        events; the contended path (``mutex_acquire`` + timed wait)
+        only fires when a non-blocking attempt fails."""
         thread = self.get_thread_num()
+        tracing = self.tracer.enabled
         if lock.acquire(blocking=False):
-            tool.mutex_acquired(thread, kind, handle, 0.0)
+            if tool is not None:
+                tool.mutex_acquired(thread, kind, handle, 0.0)
+            if tracing:
+                self._record_acquired(thread, kind, handle, 0.0)
             return
-        tool.mutex_acquire(thread, kind, handle)
+        if tool is not None:
+            tool.mutex_acquire(thread, kind, handle)
         begin = time.perf_counter()
         lock.acquire()
-        tool.mutex_acquired(thread, kind, handle,
-                            time.perf_counter() - begin)
+        wait = time.perf_counter() - begin
+        if tool is not None:
+            tool.mutex_acquired(thread, kind, handle, wait)
+        if tracing:
+            self._record_acquired(thread, kind, handle, wait)
 
     def _acquire_diagnosed(self, lock, tool, diag, kind: str, handle,
                            key) -> None:
         """Acquire ``lock`` recording a block record while contended and
         ownership once held (the diagnostics twin of
-        :meth:`_acquire_instrumented`; dispatches tool hooks too)."""
+        :meth:`_acquire_instrumented`; dispatches tool hooks and trace
+        events too)."""
         thread = self.get_thread_num()
+        tracing = self.tracer.enabled
         if lock.acquire(blocking=False):
             if tool is not None:
                 tool.mutex_acquired(thread, kind, handle, 0.0)
+            if tracing:
+                self._record_acquired(thread, kind, handle, 0.0)
             diag.resource_acquired(key)
             return
         if tool is not None:
@@ -465,9 +516,11 @@ class OmpRuntime:
         finally:
             diag.block_exit()
         diag.resource_acquired(key)
+        wait = time.perf_counter() - begin
         if tool is not None:
-            tool.mutex_acquired(thread, kind, handle,
-                                time.perf_counter() - begin)
+            tool.mutex_acquired(thread, kind, handle, wait)
+        if tracing:
+            self._record_acquired(thread, kind, handle, wait)
 
     def _critical_lock(self, name: str):
         lock = self._criticals.get(name)
@@ -484,7 +537,7 @@ class OmpRuntime:
             self._acquire_diagnosed(self._atomic_mutex, tool, diag,
                                     "atomic", "atomic",
                                     ("atomic", id(self)))
-        elif tool is None:
+        elif tool is None and not self.tracer.enabled:
             self._atomic_mutex.acquire()
         else:
             self._acquire_instrumented(self._atomic_mutex, tool,
@@ -495,6 +548,9 @@ class OmpRuntime:
         if diag is not None:
             diag.resource_released(("atomic", id(self)))
         self._atomic_mutex.release()
+        if self.tracer.enabled:
+            self.tracer.record("mutex_released", self.get_thread_num(),
+                               "atomic", "atomic")
         tool = self.tool
         if tool is not None:
             tool.mutex_released(self.get_thread_num(), "atomic", "atomic")
@@ -527,7 +583,8 @@ class OmpRuntime:
         team = frame.team
         node = TaskNode(fn, team, self.lowlevel)
         if self.tracer.enabled:
-            self.tracer.record("task_submit", frame.thread_num, id(node))
+            self.tracer.record("task_submit", frame.thread_num, id(node),
+                               frame.task_id, *caller_site())
         tool = self.tool
         if tool is not None:
             tool.task_create(frame.thread_num, id(node))
@@ -637,9 +694,14 @@ class OmpRuntime:
         frame = self.current_frame()
         team = frame.team
         tool = self.tool
+        tracing = self.tracer.enabled
+        if tracing:
+            self.tracer.record("taskwait_enter", frame.thread_num,
+                               frame.task_id)
+        if tracing or tool is not None:
+            begin = time.perf_counter()
         if tool is not None:
             tool.sync_region(frame.thread_num, "taskwait", "enter", None)
-            begin = time.perf_counter()
         diag = self.diag
         record = None
         backoff = BACKOFF_MIN
@@ -679,6 +741,10 @@ class OmpRuntime:
         finally:
             if record is not None:
                 diag.block_exit()
+        if tracing:
+            self.tracer.record("taskwait_release", frame.thread_num,
+                               time.perf_counter() - begin,
+                               frame.task_id)
         if tool is not None:
             tool.sync_region(frame.thread_num, "taskwait", "release",
                              time.perf_counter() - begin)
@@ -730,8 +796,10 @@ class OmpRuntime:
     def _execute_task_node(self, node: TaskNode) -> None:
         frame = self.current_frame()
         stack = self._stack()
-        stack.append(TaskFrame(node.team, frame.thread_num, frame, "task",
-                               frame.nthreads_var))
+        child = TaskFrame(node.team, frame.thread_num, frame, "task",
+                          frame.nthreads_var)
+        child.task_id = id(node)
+        stack.append(child)
         if self.tracer.enabled:
             self.tracer.record("task_start", frame.thread_num, id(node))
         tool = self.tool

@@ -17,6 +17,7 @@ import threading
 import time
 
 from repro.errors import OmpRuntimeError
+from repro.runtime.trace import caller_site
 
 
 def _tool_of(runtime):
@@ -25,6 +26,15 @@ def _tool_of(runtime):
 
 def _diag_of(runtime):
     return runtime.diag if runtime is not None else None
+
+
+def _tracer_of(runtime):
+    """The runtime's tracer when armed, else ``None`` (one attribute
+    read on the disarmed path, matching the tool/diag discipline)."""
+    if runtime is None:
+        return None
+    tracer = runtime.tracer
+    return tracer if tracer.enabled else None
 
 
 class OmpLock:
@@ -45,13 +55,17 @@ class OmpLock:
         self._check()
         tool = _tool_of(self._runtime)
         diag = _diag_of(self._runtime)
-        if tool is None and diag is None:
+        tracer = _tracer_of(self._runtime)
+        if tool is None and diag is None and tracer is None:
             self._lock.acquire()
             return
         thread = self._runtime.get_thread_num()
         if self._lock.acquire(blocking=False):
             if tool is not None:
                 tool.mutex_acquired(thread, "lock", id(self), 0.0)
+            if tracer is not None:
+                tracer.record("mutex_acquired", thread, "lock",
+                              id(self), 0.0, *caller_site())
             if diag is not None:
                 diag.resource_acquired(id(self))
             return
@@ -69,9 +83,12 @@ class OmpLock:
             diag.resource_acquired(id(self))
         else:
             self._lock.acquire()
+        wait = time.perf_counter() - begin
         if tool is not None:
-            tool.mutex_acquired(thread, "lock", id(self),
-                                time.perf_counter() - begin)
+            tool.mutex_acquired(thread, "lock", id(self), wait)
+        if tracer is not None:
+            tracer.record("mutex_acquired", thread, "lock", id(self),
+                          wait, *caller_site())
 
     def unset(self) -> None:
         self._check()
@@ -79,6 +96,11 @@ class OmpLock:
         if diag is not None:
             diag.resource_released(id(self))
         self._lock.release()
+        tracer = _tracer_of(self._runtime)
+        if tracer is not None:
+            tracer.record("mutex_released",
+                          self._runtime.get_thread_num(), "lock",
+                          id(self))
         tool = _tool_of(self._runtime)
         if tool is not None:
             tool.mutex_released(self._runtime.get_thread_num(), "lock",
@@ -92,6 +114,11 @@ class OmpLock:
             if tool is not None:
                 tool.mutex_acquired(self._runtime.get_thread_num(),
                                     "lock", id(self), 0.0)
+            tracer = _tracer_of(self._runtime)
+            if tracer is not None:
+                tracer.record("mutex_acquired",
+                              self._runtime.get_thread_num(), "lock",
+                              id(self), 0.0, *caller_site())
             diag = _diag_of(self._runtime)
             if diag is not None:
                 diag.resource_acquired(id(self))
@@ -124,6 +151,11 @@ class OmpNestLock:
         if tool is not None:
             tool.mutex_acquired(self._runtime.get_thread_num(),
                                 "nest_lock", id(self), wait_time)
+        tracer = _tracer_of(self._runtime)
+        if tracer is not None:
+            tracer.record("mutex_acquired",
+                          self._runtime.get_thread_num(), "nest_lock",
+                          id(self), wait_time, *caller_site())
 
     def set(self) -> None:
         self._check()
@@ -135,7 +167,8 @@ class OmpNestLock:
                 return
         tool = _tool_of(self._runtime)
         diag = _diag_of(self._runtime)
-        if tool is None and diag is None:
+        if tool is None and diag is None \
+                and _tracer_of(self._runtime) is None:
             self._lock.acquire()
         elif not self._lock.acquire(blocking=False):
             if tool is not None:
@@ -174,6 +207,11 @@ class OmpNestLock:
                 if diag is not None:
                     diag.resource_released(id(self))
                 self._lock.release()
+                tracer = _tracer_of(self._runtime)
+                if tracer is not None:
+                    tracer.record("mutex_released",
+                                  self._runtime.get_thread_num(),
+                                  "nest_lock", id(self))
                 tool = _tool_of(self._runtime)
                 if tool is not None:
                     tool.mutex_released(self._runtime.get_thread_num(),

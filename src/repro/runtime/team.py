@@ -164,12 +164,17 @@ class Team:
 
     __slots__ = ("runtime", "parent_frame", "size", "level", "active_level",
                  "barrier", "scheduler", "pending", "slots", "slots_lock",
-                 "mutex", "cpu_times", "errors", "errors_lock", "broken")
+                 "mutex", "cpu_times", "errors", "errors_lock", "broken",
+                 "region_id")
 
     def __init__(self, runtime, parent_frame, size: int):
         self.runtime = runtime
         self.parent_frame = parent_frame
         self.size = size
+        #: Process-wide parallel-region instance id, assigned by
+        #: ``parallel_run`` when tracing groups this region's events;
+        #: 0 for implicit single-thread teams.
+        self.region_id = 0
         if parent_frame is None:
             # The implicit single-thread team of an initial thread.
             self.level = 0

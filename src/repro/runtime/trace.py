@@ -14,20 +14,65 @@ disabled.
 from __future__ import annotations
 
 import dataclasses
+import os
+import sys
 import threading
 import time
 from collections import Counter, defaultdict
+
+#: The installed package root (``.../repro``): frames inside it are
+#: runtime internals, never the user site a trace event should name.
+_PACKAGE_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def caller_site() -> tuple[str, int]:
+    """``(filename, lineno)`` of the nearest non-runtime caller frame.
+
+    Walks outward until it leaves the ``repro`` package, so the result
+    is the generated ``<omp4py:...>`` frame (resolvable to user
+    coordinates via :mod:`repro.diagnostics.origin`) or the user script
+    that called the runtime API directly.  Only called when tracing is
+    armed — the disarmed paths never pay for the frame walk.
+    """
+    try:
+        frame = sys._getframe(1)
+    except ValueError:  # pragma: no cover - no caller frame
+        return "", 0
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not filename.startswith(_PACKAGE_DIR):
+            return filename, frame.f_lineno
+        frame = frame.f_back
+    return "", 0
 
 
 @dataclasses.dataclass(frozen=True)
 class TraceEvent:
     """One runtime event.
 
-    ``kind`` is one of: ``region_fork``, ``region_join``,
-    ``chunk``, ``task_submit``, ``task_steal`` (detail: task id and the
-    victim thread the task was stolen from), ``task_start``,
-    ``task_finish``, ``barrier_enter``, ``barrier_release`` (whose
-    detail carries the measured wait time in seconds).
+    ``kind`` is one of:
+
+    * ``region_fork`` (detail: team size, region id, caller file, line)
+      / ``region_join`` (team size, region id);
+    * ``itask_begin`` / ``itask_end`` (region id) — one pair per team
+      member, bracketing the member's implicit task;
+    * ``join_enter`` (region id) — a member arriving at the implicit
+      join barrier (``itask_end`` doubles as its release);
+    * ``chunk`` (low, high);
+    * ``task_submit`` (task id, parent task id — 0 for an implicit
+      parent — caller file, line), ``task_steal`` (task id and the
+      victim thread the task was stolen from), ``task_start``,
+      ``task_finish`` (task id);
+    * ``barrier_enter`` (region id, caller file, line) /
+      ``barrier_release`` (measured wait seconds, region id);
+    * ``taskwait_enter`` (parent task id) / ``taskwait_release``
+      (wait seconds, parent task id);
+    * ``mutex_acquired`` (mutex kind, handle, wait seconds, caller
+      file, line) / ``mutex_released`` (mutex kind, handle);
+    * ``ordered_wait`` (wait seconds, caller file, line).
+
+    Older traces may carry shorter detail tuples; consumers index from
+    the front and treat missing entries as absent.
     """
 
     timestamp: float
@@ -43,14 +88,19 @@ class TraceLog(list):
     silently swallowed: consumers that treat the result as a plain list
     keep working, and consumers that care (``TraceSummary``, the
     Chrome exporter, the profile CLI's truncation warning) read
-    ``.dropped``.
+    ``.dropped``.  ``.anchor`` carries the epoch anchor captured at
+    ``Tracer.start()`` — ``(unix seconds, perf_counter seconds)`` at
+    the same instant — so monotonic trace timestamps from separate
+    runs/processes can be aligned on one wall-clock timeline.
     """
 
-    __slots__ = ("dropped",)
+    __slots__ = ("dropped", "anchor")
 
-    def __init__(self, events=(), dropped: int = 0):
+    def __init__(self, events=(), dropped: int = 0,
+                 anchor: tuple[float, float] | None = None):
         super().__init__(events)
         self.dropped = dropped
+        self.anchor = anchor
 
 
 class Tracer:
@@ -62,6 +112,9 @@ class Tracer:
         self._events: list[TraceEvent] = []
         self.enabled = False
         self.dropped = 0
+        #: ``(time.time(), time.perf_counter())`` sampled at the last
+        #: ``start()`` — the monotonic→unix offset for this recording.
+        self.anchor: tuple[float, float] | None = None
 
     # -- control --------------------------------------------------------
 
@@ -69,16 +122,17 @@ class Tracer:
         with self._lock:
             self._events.clear()
             self.dropped = 0
+            self.anchor = (time.time(), time.perf_counter())
             self.enabled = True
 
     def stop(self) -> TraceLog:
         with self._lock:
             self.enabled = False
-            return TraceLog(self._events, self.dropped)
+            return TraceLog(self._events, self.dropped, self.anchor)
 
     def events(self) -> TraceLog:
         with self._lock:
-            return TraceLog(self._events, self.dropped)
+            return TraceLog(self._events, self.dropped, self.anchor)
 
     # -- recording -------------------------------------------------------
 
@@ -199,6 +253,20 @@ class TraceSummary:
                 wait = event.detail[0]
                 if isinstance(wait, (int, float)):
                     waits[event.thread] += wait
+        return dict(waits)
+
+    def mutex_waits(self) -> dict[tuple, float]:
+        """Total measured mutex wait time per ``(kind, handle)``.
+
+        Only ``mutex_acquired`` events (which carry the wait measured
+        on the contended acquire path) contribute.
+        """
+        waits: defaultdict[tuple, float] = defaultdict(float)
+        for event in self.events:
+            if event.kind == "mutex_acquired" and len(event.detail) >= 3:
+                kind, handle, wait = event.detail[:3]
+                if isinstance(wait, (int, float)):
+                    waits[(kind, handle)] += wait
         return dict(waits)
 
     def timeline(self, width: int = 60) -> str:

@@ -1,0 +1,68 @@
+"""Amdahl / USL fits recover known synthetic curves."""
+
+import pytest
+
+from repro.explain.model import amdahl_fit, fit_models, usl_fit
+
+
+def amdahl_curve(s, t1=2.0, counts=(1, 2, 4, 8)):
+    return [(n, t1 * (s + (1.0 - s) / n)) for n in counts]
+
+
+class TestAmdahl:
+    def test_recovers_serial_fraction(self):
+        fit = amdahl_fit(amdahl_curve(0.25))
+        assert fit is not None
+        assert abs(fit["serial_fraction"] - 0.25) < 1e-9
+        assert abs(fit["speedup_ceiling"] - 4.0) < 1e-6
+        assert abs(fit["t1_s"] - 2.0) < 1e-12
+
+    def test_perfect_scaling_has_unbounded_ceiling(self):
+        fit = amdahl_fit(amdahl_curve(0.0))
+        assert fit["serial_fraction"] == 0.0
+        assert fit["speedup_ceiling"] == float("inf")
+
+    def test_single_point_is_unfittable(self):
+        assert amdahl_fit([(4, 1.0)]) is None
+        assert amdahl_fit([]) is None
+
+    def test_missing_t1_falls_back_to_ideal_scaling(self):
+        fit = amdahl_fit([(2, 1.0), (4, 0.5)])
+        assert fit is not None
+        assert fit["t1_s"] == pytest.approx(2.0)
+
+
+class TestUsl:
+    def test_recovers_retrograde_curve(self):
+        sigma, kappa, t1 = 0.05, 0.01, 1.0
+
+        def t_of(n):
+            speedup = n / (1 + sigma * (n - 1) + kappa * n * (n - 1))
+            return t1 / speedup
+
+        points = [(n, t_of(n)) for n in (1, 2, 4, 8, 16)]
+        fit = usl_fit(points)
+        assert fit is not None
+        assert fit["sigma"] == pytest.approx(sigma, abs=0.02)
+        assert fit["kappa"] == pytest.approx(kappa, abs=0.005)
+        expected_peak = ((1 - sigma) / kappa) ** 0.5
+        assert fit["peak_threads"] == pytest.approx(expected_peak,
+                                                    rel=0.3)
+
+    def test_contention_free_curve_has_no_peak(self):
+        points = [(n, 1.0 / n) for n in (1, 2, 4, 8)]
+        fit = usl_fit(points)
+        assert fit["kappa"] == pytest.approx(0.0, abs=1e-6)
+        assert fit["peak_threads"] == float("inf")
+
+
+class TestFitModels:
+    def test_combined_ceiling_is_the_binding_one(self):
+        result = fit_models(amdahl_curve(0.2))
+        assert result is not None
+        assert result["amdahl"] is not None
+        assert result["usl"] is not None
+        assert result["speedup_ceiling"] <= 5.0 + 1e-6
+
+    def test_unfittable_points_give_none(self):
+        assert fit_models([(4, 1.0)]) is None

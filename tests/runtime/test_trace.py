@@ -111,7 +111,19 @@ class TestRuntimeIntegration:
         kinds = [event.kind for event in events]
         assert kinds.count("region_fork") == 1
         assert kinds.count("region_join") == 1
-        assert events[0].detail == (3,)
+        # detail: (team size, region id, caller file, line)
+        assert events[0].detail[0] == 3
+        region_id = events[0].detail[1]
+        assert region_id > 0
+        joins = [e for e in events if e.kind == "region_join"]
+        assert joins[0].detail == (3, region_id)
+        # One implicit-task bracket per member, all tagged with the
+        # region id.
+        begins = [e for e in events if e.kind == "itask_begin"]
+        ends = [e for e in events if e.kind == "itask_end"]
+        assert {e.thread for e in begins} == {0, 1, 2}
+        assert {e.thread for e in ends} == {0, 1, 2}
+        assert all(e.detail == (region_id,) for e in begins + ends)
 
     def test_chunk_events_cover_iteration_space(self, rt):
         rt.tracer.start()
