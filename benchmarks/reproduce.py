@@ -220,6 +220,13 @@ def run_smoke(out_dir: pathlib.Path) -> None:
     except Exception as error:  # noqa: BLE001 - smoke verdict
         failures.append(
             f"projection-validate: {type(error).__name__}: {error}")
+    try:
+        import bench_plan
+        plan_failures, plan_records = bench_plan.smoke_records()
+        failures.extend(plan_failures)
+        records.extend(plan_records)
+    except Exception as error:  # noqa: BLE001 - smoke verdict
+        failures.append(f"plan: {type(error).__name__}: {error}")
     write_bench_json(out_dir, records)
     if failures:
         print("[reproduce] SMOKE FAILURES:")
@@ -227,9 +234,9 @@ def run_smoke(out_dir: pathlib.Path) -> None:
             print(f"  - {failure}")
         raise SystemExit(1)
     print(f"[reproduce] smoke OK: {len(plan)} figure harnesses, the task "
-          f"microbenchmark, the region-overhead gate, and the "
-          f"projection-validation gate completed (outputs in "
-          f"{out_dir}/)")
+          f"microbenchmark, the region-overhead gate, the "
+          f"projection-validation gate, and the inspector–executor "
+          f"plan gate completed (outputs in {out_dir}/)")
 
 
 def main() -> None:

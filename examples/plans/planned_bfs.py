@@ -1,0 +1,32 @@
+"""Inspector–executor BFS under the scaling explainer.
+
+The counterpart of ``examples/faults/lock_convoy.py``: where that
+script seeds a convoy for the explainer to name, this one runs the
+*cured* kernel — bfs with its frontier/visited criticals replaced by
+an owner-computes row plan (``repro.plan``) — so the explain report
+carries a ``plan-execution`` finding ("convoy fixed by plan") and no
+``lock-convoy`` verdict.  CI's explain-smoke job asserts exactly that.
+
+Run it under the explainer::
+
+    python -m repro.explain examples/plans/planned_bfs.py \
+        --json planned_bfs_explain.json
+"""
+
+from repro.apps import bfs
+
+N = 61
+THREADS = 4
+
+
+def main() -> None:
+    grid = bfs.make_maze(N)
+    expected = bfs.sequential(grid, N)
+    result = bfs.kernel_planned(grid, N, THREADS)
+    assert result == expected, (result, expected)
+    print(f"planned bfs: reached={result[0]} count={result[1]} "
+          f"on a {N}x{N} maze at {THREADS} threads")
+
+
+if __name__ == "__main__":
+    main()

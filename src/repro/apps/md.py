@@ -236,6 +236,172 @@ def kernel_dt(px, py, pz, vx, vy, vz, ax, ay, az, n, steps, threads):
     return potential, kinetic
 
 
+def _verlet(px, py, pz, vx, vy, vz, ax, ay, az, n, steps, forces):
+    """Velocity-Verlet driver around a pluggable force routine.
+
+    The force phase is the O(n²) heart of md (and the part the
+    critical/planned variants differ in); the O(n) position/velocity
+    updates are shared serial glue.
+    """
+    potential = forces()
+    kinetic = 0.0
+    for _step in range(steps):
+        for i in range(n):
+            px[i] += vx[i] * DT + 0.5 * ax[i] * DT * DT
+            py[i] += vy[i] * DT + 0.5 * ay[i] * DT * DT
+            pz[i] += vz[i] * DT + 0.5 * az[i] * DT * DT
+            vx[i] += 0.5 * ax[i] * DT
+            vy[i] += 0.5 * ay[i] * DT
+            vz[i] += 0.5 * az[i] * DT
+        potential = forces()
+        kinetic = 0.0
+        for i in range(n):
+            vx[i] += 0.5 * ax[i] * DT
+            vy[i] += 0.5 * ay[i] * DT
+            vz[i] += 0.5 * az[i] * DT
+            kinetic += 0.5 * MASS * (vx[i] * vx[i] + vy[i] * vy[i]
+                                     + vz[i] * vz[i])
+    return potential, kinetic
+
+
+def _pair_interaction(px, py, pz, i, j):
+    """Force and potential of one unordered pair (Newton's third law:
+    the same interaction serves both particles)."""
+    dx = px[i] - px[j]
+    dy = py[i] - py[j]
+    dz = pz[i] - pz[j]
+    d = math.sqrt(dx * dx + dy * dy + dz * dz)
+    pull = (D0 - d) / d
+    # Each unordered pair carries both ordered contributions:
+    # 2 * 0.25 * (d - d0)^2.
+    return pull * dx, pull * dy, pull * dz, 0.5 * (d - D0) * (d - D0)
+
+
+def kernel_pairs_critical(px, py, pz, vx, vy, vz, ax, ay, az, n, steps,
+                          threads, runtime=None):
+    """Half-pair force baseline: Newton's-third-law scatter under a
+    ``critical``.
+
+    Each thread owns a block of ``i`` rows, computes every ``j > i``
+    interaction once, and scatters the reaction forces into per-thread
+    arrays; the arrays then merge into the shared accelerations under
+    ``critical(md_forces)`` — the serialized accumulation the plan
+    variant eliminates.
+    """
+    if runtime is None:
+        from repro.runtime import pure_runtime as runtime
+    nthreads = max(1, threads)
+    state = {"potential": 0.0}
+
+    def forces():
+        for i in range(n):
+            ax[i] = 0.0
+            ay[i] = 0.0
+            az[i] = 0.0
+        state["potential"] = 0.0
+
+        def member():
+            thread_num = runtime.get_thread_num()
+            size = runtime.get_num_threads()
+            fx = [0.0] * n
+            fy = [0.0] * n
+            fz = [0.0] * n
+            local = 0.0
+            for i in range(thread_num, n, size):
+                for j in range(i + 1, n):
+                    gx, gy, gz, pot = _pair_interaction(px, py, pz, i, j)
+                    fx[i] += gx
+                    fy[i] += gy
+                    fz[i] += gz
+                    fx[j] -= gx
+                    fy[j] -= gy
+                    fz[j] -= gz
+                    local += pot
+            runtime.critical_enter("md_forces")
+            try:
+                for i in range(n):
+                    ax[i] += fx[i] / MASS
+                    ay[i] += fy[i] / MASS
+                    az[i] += fz[i] / MASS
+                state["potential"] += local
+            finally:
+                runtime.critical_exit("md_forces")
+
+        runtime.parallel_run(member, num_threads=nthreads)
+        return state["potential"]
+
+    return _verlet(px, py, pz, vx, vy, vz, ax, ay, az, n, steps, forces)
+
+
+def pair_block_map(n: int, block: int):
+    """The planned force kernel's indirection map: iteration = one
+    (block_i, block_j) tile of the half-pair triangle, elements = the
+    two particle blocks it scatters forces into."""
+    from repro.plan import Map
+    nblocks = (n + block - 1) // block
+    return Map("md-pair-blocks",
+               [(bi, bj) for bi in range(nblocks)
+                for bj in range(bi, nblocks)])
+
+
+def kernel_planned(px, py, pz, vx, vy, vz, ax, ay, az, n, steps,
+                   threads, runtime=None, block: int | None = None):
+    """Inspector–executor md: pair-block coloring replaces the force
+    ``critical``.
+
+    Half-pair tiles touch exactly two particle blocks; the plan colors
+    tiles so no two same-color tiles share a block, letting every tile
+    scatter Newton's-third-law reactions straight into the shared
+    acceleration arrays — no critical, no per-thread force copies.
+    The tile map is built once and ``plan_for`` is called every
+    timestep, so step one is the inspector and every later step is a
+    plan-cache hit; the potential reduction pads per-thread partials
+    to cache-line stride.
+    """
+    from repro.atomics import PaddedAccumulator
+    from repro.plan import execute, plan_for
+
+    if runtime is None:
+        from repro.runtime import pure_runtime as runtime
+    nthreads = max(1, threads)
+    if block is None:
+        block = max(1, (n + 2 * nthreads - 1) // (2 * nthreads))
+    the_map = pair_block_map(n, block)
+    pairs = the_map.entries
+    potential = PaddedAccumulator(nthreads)
+
+    def body(lo, hi, thread_num):
+        for index in range(lo, hi):
+            bi, bj = pairs[index]
+            i_lo, i_hi = bi * block, min((bi + 1) * block, n)
+            j_hi = min((bj + 1) * block, n)
+            local = 0.0
+            for i in range(i_lo, i_hi):
+                j_lo = max(i + 1, bj * block)
+                for j in range(j_lo, j_hi):
+                    gx, gy, gz, pot = _pair_interaction(px, py, pz, i, j)
+                    ax[i] += gx / MASS
+                    ay[i] += gy / MASS
+                    az[i] += gz / MASS
+                    ax[j] -= gx / MASS
+                    ay[j] -= gy / MASS
+                    az[j] -= gz / MASS
+                    local += pot
+            potential.add(thread_num, local)
+
+    def forces():
+        for i in range(n):
+            ax[i] = 0.0
+            ay[i] = 0.0
+            az[i] = 0.0
+        potential.reset()
+        plan = plan_for(the_map, 1, runtime=runtime)
+        execute(plan, body, threads=nthreads, runtime=runtime)
+        return potential.total()
+
+    return _verlet(px, py, pz, vx, vy, vz, ax, ay, az, n, steps, forces)
+
+
 def pyomp_kernel(px, py, pz, vx, vy, vz, ax, ay, az, n, steps, threads):
     # Same computation as kernel_dt, in PyOMP spelling, so the paper's
     # performance comparison is over identical work.

@@ -15,7 +15,9 @@ never blocks other cells, and no user-visible mutex exists.  The
 substitution is documented in DESIGN.md.
 """
 
-from repro.atomics.cell import (AtomicLong, AtomicRef, atomic_setdefault,
+from repro.atomics.cell import (CACHE_LINE_BYTES, AtomicLong, AtomicRef,
+                                PaddedAccumulator, atomic_setdefault,
                                 cas_attr)
 
-__all__ = ["AtomicLong", "AtomicRef", "atomic_setdefault", "cas_attr"]
+__all__ = ["AtomicLong", "AtomicRef", "CACHE_LINE_BYTES",
+           "PaddedAccumulator", "atomic_setdefault", "cas_attr"]

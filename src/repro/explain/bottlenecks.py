@@ -16,7 +16,11 @@ user source line (via the origin registry, so sites inside generated
   iterations into sequential order;
 * ``gil-serialization`` — the gap between measured wall time and the
   projection model's no-GIL estimate (gil backend only; the cross
-  check against the nogil backend split of docs/projection.md).
+  check against the nogil backend split of docs/projection.md);
+* ``plan-execution`` — informational: the run executed inspector–
+  executor plans (``repro.plan``), so shared updates were scheduled
+  conflict-free by coloring instead of queueing on a mutex — the
+  convoy is fixed by the plan, not hidden.
 
 ``lost_s`` is thread-seconds (summed across threads); ``fraction``
 normalizes by ``span × nthreads`` so findings are comparable across
@@ -248,4 +252,25 @@ def classify(analysis: DagAnalysis, *, nthreads: int,
     findings = [f for f in findings if f.fraction >= MIN_FRACTION
                 or f.lost_s >= 0.05]
     findings.sort(key=lambda f: f.lost_s, reverse=True)
+
+    # -- plan execution (informational, exempt from the noise filter) -----
+    # A planned run replaces its criticals outright, so there is no
+    # convoy left to measure; the finding names the cure so the report
+    # never reads as "nothing found" for an inspector–executor run.
+    for source, entry in sorted(analysis.plans.items()):
+        findings.append(Finding(
+            category="plan-execution", lost_s=0.0, fraction=0.0,
+            message=(f"convoy fixed by plan '{source}': "
+                     f"{entry['executions']} execution(s) of "
+                     f"{entry['partitions']} partition(s) in "
+                     f"{entry['colors']} color(s) over "
+                     f"{entry['conflict_edges']} conflict edge(s) — "
+                     f"shared updates ran lock-free, scheduled by "
+                     f"coloring instead of a mutex"),
+            location=_site_str(entry["site"]), directive="plan",
+            extra={"plan_source": source,
+                   "executions": entry["executions"],
+                   "partitions": entry["partitions"],
+                   "colors": entry["colors"],
+                   "conflict_edges": entry["conflict_edges"]}))
     return findings

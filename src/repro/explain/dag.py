@@ -112,6 +112,11 @@ class DagAnalysis:
     tasks_submitted: int = 0
     tasks_started: int = 0
     steals_by_thread: dict = dataclasses.field(default_factory=dict)
+    #: plan source (map name) -> {"executions", "partitions",
+    #: "colors", "conflict_edges", "site"} from ``plan_execute``
+    #: events (:mod:`repro.plan`): evidence that updates ran under an
+    #: inspector–executor plan instead of locks.
+    plans: dict = dataclasses.field(default_factory=dict)
 
     @property
     def serial_fraction(self) -> float:
@@ -361,6 +366,18 @@ def build_dag(events, *, free_mutexes=frozenset(),
                     site, {"wait_s": 0.0, "count": 0})
                 entry["wait_s"] += wait
                 entry["count"] += 1
+        elif kind == "plan_execute":
+            source = detail[0] if detail else "?"
+            entry = analysis.plans.setdefault(
+                source, {"executions": 0, "partitions": 0, "colors": 0,
+                         "conflict_edges": 0, "site": None})
+            entry["executions"] += 1
+            if len(detail) >= 4:
+                entry["partitions"] = detail[1]
+                entry["colors"] = detail[2]
+                entry["conflict_edges"] = detail[3]
+            if entry["site"] is None:
+                entry["site"] = _site_of(detail, 4)
 
     # Barrier-site aggregates: total arrival spread (slowest minus
     # fastest arrival) and summed release waits per enter site.
@@ -470,6 +487,13 @@ def summarize(analysis: DagAnalysis, *, top: int = 8) -> dict:
              "site": site_str(entry["site"])}
             for handle, entry in mutexes[:top]],
         "regions": len(analysis.regions),
+        "plans": {
+            source: {"executions": entry["executions"],
+                     "partitions": entry["partitions"],
+                     "colors": entry["colors"],
+                     "conflict_edges": entry["conflict_edges"],
+                     "site": site_str(entry["site"])}
+            for source, entry in sorted(analysis.plans.items())},
         "tasks": {"submitted": analysis.tasks_submitted,
                   "started": analysis.tasks_started,
                   "steals": {str(t): c for t, c in sorted(

@@ -40,6 +40,9 @@ callback             fired when
 ``mutex_acquired``   a mutex was obtained (wait time is 0.0 for
                      uncontended acquisitions)
 ``mutex_released``   a mutex was released
+``plan``             inspector–executor plan activity: a plan was
+                     built, served from the plan cache, or executed
+                     (see :mod:`repro.plan`)
 ===================  =====================================================
 """
 
@@ -146,13 +149,26 @@ class ToolHooks:
     def mutex_released(self, thread: int, kind: str, handle) -> None:
         """``thread`` released the mutex."""
 
+    # -- inspector–executor plans -----------------------------------------
+
+    def plan(self, thread: int, event: str, payload: dict) -> None:
+        """Inspector–executor plan activity (:mod:`repro.plan`).
+
+        ``event`` is ``"build"`` (the inspector ran), ``"cache_hit"``
+        (an existing plan was served for the same (map, partition
+        size)), or ``"execute"`` (a plan ran color-by-color).
+        ``payload`` carries ``source`` (the map name),
+        ``partition_size``, ``partitions``, ``colors``,
+        ``conflict_edges`` and, for executions, ``threads``.
+        """
+
 
 #: Every dispatchable callback name, in catalogue order.
 CALLBACK_NAMES = ("thread_begin", "thread_end", "thread_idle",
                   "parallel_begin", "parallel_end", "implicit_task",
                   "work", "task_create", "task_schedule", "task_steal",
                   "task_complete", "sync_region", "mutex_acquire",
-                  "mutex_acquired", "mutex_released")
+                  "mutex_acquired", "mutex_released", "plan")
 
 
 class ToolDispatcher(ToolHooks):
@@ -225,3 +241,7 @@ class ToolDispatcher(ToolHooks):
     def mutex_released(self, thread, kind, handle):
         for tool in self.tools:
             tool.mutex_released(thread, kind, handle)
+
+    def plan(self, thread, event, payload):
+        for tool in self.tools:
+            tool.plan(thread, event, payload)

@@ -325,6 +325,42 @@ class MetricsTool(ToolHooks):
                 "Time spent waiting for mutexes", kind=kind).observe(
                 wait_time)
 
+    # -- inspector–executor plans -----------------------------------------
+
+    def plan(self, thread, event, payload):
+        registry = self.registry
+        with self._lock:
+            if event == "build":
+                registry.counter(
+                    "omp_plan_builds_total",
+                    "Execution plans built by the inspector, per map",
+                    source=payload["source"]).inc()
+            elif event == "cache_hit":
+                registry.counter(
+                    "omp_plan_cache_hits_total",
+                    "Plans served from the (map, partition size) "
+                    "cache, per map",
+                    source=payload["source"]).inc()
+            elif event == "execute":
+                registry.counter(
+                    "omp_plan_executions_total",
+                    "Color-by-color plan executions, per map",
+                    source=payload["source"]).inc()
+                registry.gauge(
+                    "omp_plan_partitions",
+                    "Partition count of the last executed plan",
+                    source=payload["source"]).set(payload["partitions"])
+                registry.gauge(
+                    "omp_plan_colors",
+                    "Color count of the last executed plan",
+                    source=payload["source"]).set(payload["colors"])
+                registry.gauge(
+                    "omp_plan_conflict_edges",
+                    "Conflict-graph edge count of the last executed "
+                    "plan",
+                    source=payload["source"]).set(
+                    payload["conflict_edges"])
+
     # -- results ----------------------------------------------------------
 
     def pending_tasks(self) -> int:

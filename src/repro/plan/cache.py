@@ -1,0 +1,78 @@
+"""Plan cache keyed by ``(map, partition size)``.
+
+Inspection is the expensive half of inspector–executor: for a
+timestepped app (md runs the same pair map every step) the conflict
+graph and coloring must be computed once and reused.  The cache is
+weak-keyed on the :class:`~repro.plan.map.Map` object — when the
+application drops its map, the plans built for it go too (plans never
+hold a reference back to their map, see ``planner.Plan``), so the
+cache cannot leak retired iteration spaces.
+
+Cache traffic (builds and hits) is reported through the OMPT tool
+``plan`` callback when a runtime with an attached tool is passed in,
+which is how ``omp_plan_cache_hits_total`` reaches the metrics
+registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+from repro.plan.planner import build_plan
+
+_lock = threading.Lock()
+_plans: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_stats = {"builds": 0, "hits": 0}
+
+
+def plan_for(indirection_map, partition_size: int, *, runtime=None):
+    """The cached plan for ``(map, partition_size)``, building it on
+    first use.  Thread-safe; the inspector runs under the cache lock so
+    concurrent first calls build once."""
+    with _lock:
+        per_size = _plans.get(indirection_map)
+        if per_size is None:
+            _plans[indirection_map] = per_size = {}
+        plan = per_size.get(partition_size)
+        if plan is not None:
+            _stats["hits"] += 1
+            hit = True
+        else:
+            plan = build_plan(indirection_map, partition_size)
+            per_size[partition_size] = plan
+            _stats["builds"] += 1
+            hit = False
+    _notify(runtime, plan, hit)
+    return plan
+
+
+def _notify(runtime, plan, hit: bool) -> None:
+    if runtime is None:
+        return
+    tool = runtime.tool
+    if tool is None:
+        return
+    tool.plan(runtime.get_thread_num(),
+              "cache_hit" if hit else "build",
+              {"source": plan.source,
+               "partition_size": plan.partition_size,
+               "partitions": plan.npartitions,
+               "colors": plan.ncolors,
+               "conflict_edges": plan.conflict_edges})
+
+
+def plan_cache_stats() -> dict:
+    """A snapshot of cache counters plus live entry counts."""
+    with _lock:
+        entries = sum(len(per_size) for per_size in _plans.values())
+        return {"builds": _stats["builds"], "hits": _stats["hits"],
+                "maps": len(_plans), "plans": entries}
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset counters (tests)."""
+    with _lock:
+        _plans.clear()
+        _stats["builds"] = 0
+        _stats["hits"] = 0

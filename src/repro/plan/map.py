@@ -1,0 +1,60 @@
+"""The user-declared indirection map: iteration → shared elements.
+
+A :class:`Map` is the one piece of information the runtime cannot
+discover on its own — which shared elements (graph vertices, particles,
+dictionary shards, matrix rows…) each iteration of an irregular loop
+reads or writes through an indirection.  Everything else (partitioning,
+conflict analysis, coloring, scheduling) is derived from it by the
+inspector in :mod:`repro.plan.planner`.
+
+Maps are immutable after construction; that is what makes the plan
+cache (:mod:`repro.plan.cache`) sound — a cached plan is valid for as
+long as its map object lives.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OmpError
+
+
+class Map:
+    """Which shared elements each iteration of a loop touches.
+
+    ``entries[i]`` is the collection of element identifiers (any
+    hashable values) iteration ``i`` updates.  Two iterations *conflict*
+    when their entries intersect; the planner guarantees conflicting
+    iterations never run concurrently.
+
+    Instances are immutable and hashable by identity — a plan cached
+    for a map stays valid for the map's lifetime, and the cache drops
+    its plans when the map is garbage collected (it is keyed weakly).
+    """
+
+    __slots__ = ("name", "entries", "size", "arity", "__weakref__")
+
+    def __init__(self, name: str, entries) -> None:
+        if not isinstance(name, str) or not name:
+            raise OmpError("Map needs a non-empty name")
+        self.name = name
+        self.entries: tuple[tuple, ...] = tuple(
+            tuple(entry) for entry in entries)
+        self.size = len(self.entries)
+        self.arity = max((len(entry) for entry in self.entries),
+                         default=0)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, index: int) -> tuple:
+        return self.entries[index]
+
+    def elements(self) -> set:
+        """The set of all elements any iteration touches."""
+        touched: set = set()
+        for entry in self.entries:
+            touched.update(entry)
+        return touched
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Map({self.name!r}, size={self.size}, "
+                f"arity<={self.arity})")

@@ -1,0 +1,163 @@
+"""The inspector: partition, conflict graph, greedy coloring.
+
+:func:`build_plan` turns a :class:`~repro.plan.map.Map` into a
+:class:`Plan`:
+
+1. the iteration space ``[0, len(map))`` is cut into contiguous
+   partitions of ``partition_size`` iterations;
+2. two partitions *conflict* when some shared element appears in both
+   (computed from the map, one pass over the entries);
+3. partitions are greedily colored in index order so no two partitions
+   of the same color conflict — same-color partitions can therefore run
+   concurrently with **zero** synchronization between them.
+
+The executor (:mod:`repro.plan.executor`) then runs the colors in
+sequence with one barrier between colors.  Scheduling inside a color is
+deterministic: partition ``p`` is always owned by thread
+``p % nthreads``, so across colors *and* across repeated executions
+(timesteps) a partition's data stays with the same worker — and, via
+the affinity binder, with the same ``OMP_PLACES`` place.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import OmpError
+
+
+def _partition_bounds(total: int, partition_size: int):
+    """Contiguous ``[lo, hi)`` partition bounds covering ``total``."""
+    bounds = []
+    lo = 0
+    while lo < total:
+        hi = min(lo + partition_size, total)
+        bounds.append((lo, hi))
+        lo = hi
+    return tuple(bounds)
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An executable schedule for one irregular loop.
+
+    A plan never references its :class:`~repro.plan.map.Map` — only
+    derived data — so the weak-keyed plan cache can drop the map (and
+    with it the plan) the moment the application lets go of it.
+    """
+
+    source: str
+    total: int
+    partition_size: int
+    partitions: tuple[tuple[int, int], ...]
+    #: partition indices grouped by color, in execution order
+    colors: tuple[tuple[int, ...], ...]
+    conflict_edges: int
+    _schedules: dict = field(default_factory=dict, repr=False,
+                             compare=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    @property
+    def npartitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def ncolors(self) -> int:
+        return len(self.colors)
+
+    def schedule_for(self, nthreads: int):
+        """Per-color, per-thread partition bounds for a team size.
+
+        Returns one tuple per color; each is an ``nthreads``-long tuple
+        of ``((lo, hi), ...)`` partition-bound lists.  Owner assignment
+        is the stable ``partition_index % nthreads`` so a partition
+        always lands on the same thread (and place) regardless of the
+        color it sits in or how often the plan re-executes.
+        """
+        if nthreads < 1:
+            raise OmpError("schedule_for needs nthreads >= 1")
+        with self._lock:
+            cached = self._schedules.get(nthreads)
+            if cached is not None:
+                return cached
+            schedule = []
+            for members in self.colors:
+                per_thread = [[] for _ in range(nthreads)]
+                for part in members:
+                    per_thread[part % nthreads].append(
+                        self.partitions[part])
+                schedule.append(tuple(tuple(chunks)
+                                      for chunks in per_thread))
+            schedule = tuple(schedule)
+            self._schedules[nthreads] = schedule
+            return schedule
+
+    def placement(self, nthreads: int, binder):
+        """Place index for each owner thread under ``binder``.
+
+        Purely informational (metrics / docs): the actual pinning is
+        done by the runtime's team members via
+        ``Binder.bind_current`` — this mirrors that computation so a
+        report can say which place each partition owner runs on.
+        """
+        if binder is None or not getattr(binder, "places", None):
+            return None
+        from repro.affinity import place_for_member
+        nplaces = len(binder.places)
+        return tuple(
+            place_for_member(thread, nthreads, nplaces,
+                             binder.proc_bind)
+            for thread in range(nthreads))
+
+
+def build_plan(indirection_map, partition_size: int) -> Plan:
+    """Inspect an indirection map and build an execution plan."""
+    if partition_size < 1:
+        raise OmpError("partition_size must be >= 1")
+    total = len(indirection_map)
+    bounds = _partition_bounds(total, partition_size)
+    nparts = len(bounds)
+
+    # Which partitions touch each element — one pass over the map.
+    touched_by: dict = {}
+    for part, (lo, hi) in enumerate(bounds):
+        for iteration in range(lo, hi):
+            for element in indirection_map[iteration]:
+                owners = touched_by.get(element)
+                if owners is None:
+                    touched_by[element] = owners = []
+                if not owners or owners[-1] != part:
+                    owners.append(part)
+
+    # Conflict adjacency: partitions sharing any element.
+    adjacency = [set() for _ in range(nparts)]
+    for owners in touched_by.values():
+        for i, a in enumerate(owners):
+            for b in owners[i + 1:]:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+    edges = sum(len(neigh) for neigh in adjacency) // 2
+
+    # Greedy coloring in index order: smallest color absent from the
+    # already-colored neighborhood.
+    color_of = [-1] * nparts
+    for part in range(nparts):
+        taken = {color_of[neighbor] for neighbor in adjacency[part]
+                 if color_of[neighbor] >= 0}
+        color = 0
+        while color in taken:
+            color += 1
+        color_of[part] = color
+    ncolors = (max(color_of) + 1) if nparts else 0
+    colors = [[] for _ in range(ncolors)]
+    for part, color in enumerate(color_of):
+        colors[color].append(part)
+
+    return Plan(source=indirection_map.name,
+                total=total,
+                partition_size=partition_size,
+                partitions=bounds,
+                colors=tuple(tuple(members) for members in colors),
+                conflict_edges=edges)

@@ -24,6 +24,90 @@ class ReductionOp:
         self.combiner = combiner
 
 
+class _ExtremeIdentity:
+    """Order-extreme identity for ``min``/``max``.
+
+    ``math.inf`` identities silently promote all-integer reductions to
+    float (``min(inf, 3) == 3`` but ``min(inf, inf) == inf`` leaks a
+    float, and any arithmetic on the identity floats the result).  This
+    sentinel compares like ±infinity — so ``min(identity, x)`` and
+    ``max(identity, x)`` return ``x`` unchanged, preserving its type —
+    but is not a number: a private copy that never met a value folds
+    back out of the combine instead of contaminating the result.  It
+    still compares equal to the matching ``math.inf`` so existing
+    identity checks hold.
+    """
+
+    __slots__ = ("_sign",)
+
+    def __init__(self, sign: int) -> None:
+        self._sign = sign  # +1: greater than everything (min identity)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<omp min identity>" if self._sign > 0 \
+            else "<omp max identity>"
+
+    def _value(self) -> float:
+        return math.inf if self._sign > 0 else -math.inf
+
+    def __lt__(self, other):
+        if isinstance(other, _ExtremeIdentity):
+            return self._value() < other._value()
+        return self._sign < 0
+
+    def __le__(self, other):
+        if isinstance(other, _ExtremeIdentity):
+            return self._value() <= other._value()
+        return self._sign < 0
+
+    def __gt__(self, other):
+        if isinstance(other, _ExtremeIdentity):
+            return self._value() > other._value()
+        return self._sign > 0
+
+    def __ge__(self, other):
+        if isinstance(other, _ExtremeIdentity):
+            return self._value() >= other._value()
+        return self._sign > 0
+
+    def __eq__(self, other):
+        if isinstance(other, _ExtremeIdentity):
+            return self._sign == other._sign
+        return other == self._value()
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        return hash(self._value())
+
+
+#: ``min`` identity: greater than every value, equal to ``math.inf``.
+MIN_IDENTITY = _ExtremeIdentity(+1)
+#: ``max`` identity: less than every value, equal to ``-math.inf``.
+MAX_IDENTITY = _ExtremeIdentity(-1)
+
+
+class _Omitted:
+    """Identity of a declared reduction with a defaulted initializer.
+
+    A thread that receives zero iterations folds its untouched private
+    copy into the shared result; with a defaulted initializer there is
+    no identity value to fold, so this sentinel stands in and
+    ``reduction_combine`` drops it before the user combiner ever sees
+    it — the combiner is only called on real values.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<omp omitted identity>"
+
+
+#: Shared sentinel returned by defaulted declared initializers.
+OMITTED = _Omitted()
+
+
 _BUILTINS: dict[str, ReductionOp] = {}
 
 
@@ -43,8 +127,11 @@ _builtin("&&", lambda: True, lambda out, value: bool(out and value))
 _builtin("||", lambda: False, lambda out, value: bool(out or value))
 _builtin("and", lambda: True, lambda out, value: bool(out and value))
 _builtin("or", lambda: False, lambda out, value: bool(out or value))
-_builtin("min", lambda: math.inf, min)
-_builtin("max", lambda: -math.inf, max)
+# Sentinel-first-value identities: the first real value replaces the
+# sentinel outright, so an all-int reduction stays int (math.inf here
+# would promote it to float).
+_builtin("min", lambda: MIN_IDENTITY, min)
+_builtin("max", lambda: MAX_IDENTITY, max)
 
 
 _declared: dict[str, ReductionOp] = {}
@@ -55,17 +142,19 @@ def declare_reduction(name: str, combiner, initializer=None) -> None:
     """Register a user reduction (API form of ``declare reduction``).
 
     ``combiner`` is ``f(omp_out, omp_in) -> new omp_out``;
-    ``initializer`` is a zero-argument callable producing the identity
-    (defaults to ``None``-identity via the combiner's first real value —
-    OpenMP requires an initializer for non-trivial types, and so do we).
+    ``initializer`` is a zero-argument callable producing the identity.
+    When omitted, private copies start from the :data:`OMITTED`
+    sentinel and the first real value becomes the partial result — the
+    combiner is never called with the sentinel, so a thread that
+    receives zero iterations folds out of the reduction harmlessly
+    instead of crashing the combiner with a bogus identity.
     """
     if not name.isidentifier():
         raise OmpRuntimeError(f"invalid reduction name {name!r}")
     if name in _BUILTINS:
         raise OmpRuntimeError(f"cannot redeclare built-in reduction {name!r}")
     if initializer is None:
-        raise OmpRuntimeError(
-            f"declare reduction {name!r} requires an initializer")
+        initializer = lambda: OMITTED  # noqa: E731 - shared sentinel
     with _declared_lock:
         _declared[name] = ReductionOp(name, initializer, combiner)
 
@@ -83,5 +172,14 @@ def reduction_init(name: str):
 
 
 def reduction_combine(name: str, out, value):
-    """Combine a private partial result into the shared variable."""
+    """Combine a private partial result into the shared variable.
+
+    Sentinel-first-value rule: an :data:`OMITTED` operand (a defaulted
+    declared identity that never met a value) is dropped without
+    calling the combiner, so user combiners only ever see real values.
+    """
+    if value is OMITTED:
+        return out
+    if out is OMITTED:
+        return value
     return lookup(name).combiner(out, value)

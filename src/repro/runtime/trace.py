@@ -69,7 +69,10 @@ class TraceEvent:
       (wait seconds, parent task id);
     * ``mutex_acquired`` (mutex kind, handle, wait seconds, caller
       file, line) / ``mutex_released`` (mutex kind, handle);
-    * ``ordered_wait`` (wait seconds, caller file, line).
+    * ``ordered_wait`` (wait seconds, caller file, line);
+    * ``plan_execute`` (plan source, partitions, colors, conflict
+      edges, caller file, line) — one inspector–executor plan
+      execution (:mod:`repro.plan`), recorded by team thread 0.
 
     Older traces may carry shorter detail tuples; consumers index from
     the front and treat missing entries as absent.

@@ -182,7 +182,12 @@ def _next_guided(info: LoopInfo):
         remaining = info.total - low
         if remaining <= 0:
             return None
-        size = max(minimum, remaining // (2 * nthreads))
+        # Guided decay: remaining/(2T) rounds to zero once the tail
+        # drops below twice the team size; a zero-sized claim would
+        # spin the CAS retry loop forever without making progress, so
+        # the chunk is clamped to the user chunk floor and never below
+        # one iteration.
+        size = max(1, minimum, remaining // (2 * nthreads))
         size = min(size, remaining)
         # CAS retry loop: lock-free on the cruntime's atomic counter.
         if counter.compare_exchange(low, low + size):

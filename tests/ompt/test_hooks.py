@@ -101,6 +101,10 @@ class TestDispatcher:
         dispatcher.mutex_acquire(0, "critical", "c")
         dispatcher.mutex_acquired(0, "critical", "c", 0.1)
         dispatcher.mutex_released(0, "critical", "c")
+        dispatcher.plan(0, "execute", {"source": "m", "partitions": 4,
+                                       "colors": 2, "conflict_edges": 3,
+                                       "partition_size": 8,
+                                       "threads": 2})
         assert _names(first) == list(CALLBACK_NAMES)
         assert first.calls == second.calls
 

@@ -1,0 +1,1 @@
+"""Inspector–executor plan tests (repro.plan)."""

@@ -1,0 +1,80 @@
+"""Correctness of the planned (inspector–executor) app kernels against
+their sequential references and critical-section baselines."""
+
+import pytest
+
+from repro.apps import get_app, md, wordcount
+from repro.plan import clear_plan_cache, plan_cache_stats
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+class TestWordcountPlanned:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_matches_sequential(self, threads):
+        spec = get_app("wordcount")
+        inputs = spec.inputs("test")
+        expected = wordcount.sequential(**inputs)
+        result = wordcount.kernel_planned(threads=threads, **inputs)
+        assert result == expected
+
+    def test_merge_plan_is_one_color(self):
+        from repro.plan import build_plan
+        plan = build_plan(wordcount.shard_map(16), 1)
+        assert plan.ncolors == 1
+        assert plan.conflict_edges == 0
+
+    def test_empty_corpus(self):
+        assert wordcount.kernel_planned([], 0, 4) == {}
+
+
+class TestMdPlanned:
+    def _inputs(self):
+        return md.make_input(n=24, steps=3)
+
+    def test_matches_sequential(self):
+        inputs = self._inputs()
+        expected = md.sequential(**self._inputs())
+        result = md.kernel_planned(threads=4, **inputs)
+        assert result == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    def test_matches_critical_baseline(self):
+        inputs = self._inputs()
+        baseline = md.kernel_pairs_critical(threads=4, **self._inputs())
+        result = md.kernel_planned(threads=4, **inputs)
+        assert result == pytest.approx(baseline, rel=1e-9, abs=1e-9)
+
+    def test_timestep_loop_hits_the_plan_cache(self):
+        """Step one builds the plan; every later force evaluation is a
+        cache hit — the inspector cost amortizes across timesteps."""
+        inputs = self._inputs()
+        steps = inputs["steps"]
+        md.kernel_planned(threads=2, **inputs)
+        stats = plan_cache_stats()
+        assert stats["builds"] == 1
+        # _verlet evaluates forces once up front plus once per step.
+        assert stats["hits"] == steps
+
+    def test_pair_block_map_covers_the_triangle(self):
+        the_map = md.pair_block_map(10, 3)
+        nblocks = 4
+        assert len(the_map) == nblocks * (nblocks + 1) // 2
+        assert the_map.elements() == set(range(nblocks))
+
+
+class TestBfsPlannedCache:
+    def test_one_plan_serves_every_level(self):
+        from repro.apps import bfs
+        grid = bfs.make_maze(21)
+        expected = bfs.sequential(grid, 21)
+        assert bfs.kernel_planned(grid, 21, 3) == expected
+        stats = plan_cache_stats()
+        # The plan is fetched once before the region forks, not once
+        # per BFS level.
+        assert stats["builds"] == 1
+        assert stats["hits"] == 0

@@ -1,0 +1,89 @@
+"""Regression tests for the level-synchronous BFS baseline.
+
+The guarded invariant: the visited check, the claim, and the
+next-frontier append happen under ONE critical section.  Splitting
+them (check under one critical, append under another) is a
+check-then-act race — on a diamond graph two parents of the same
+vertex both pass the visited check and enqueue it twice, inflating the
+count and re-expanding the vertex.
+"""
+
+import inspect
+
+import pytest
+
+from repro import transform
+from repro.apps import bfs
+from repro.modes import Mode
+
+
+def _open_grid(n):
+    """No walls: a grid full of diamonds (two parents per inner cell),
+    the adversarial input for the check-then-act race."""
+    return [[0] * n for _ in range(n)]
+
+
+@pytest.fixture(scope="module")
+def frontier_kernel():
+    return transform(bfs.kernel_frontier, Mode.PURE)
+
+
+class TestFrontierKernel:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_matches_sequential_on_maze(self, frontier_kernel, threads):
+        grid = bfs.make_maze(31)
+        expected = bfs.sequential(grid, 31)
+        assert frontier_kernel(grid=grid, n=31,
+                               threads=threads) == expected
+
+    def test_diamond_graph_has_no_duplicates(self, frontier_kernel):
+        """Every inner cell of an open grid is reachable through two
+        parents in the same level; a duplicate enqueue double-counts
+        it.  Repeat to give the race a chance to fire."""
+        n = 13
+        grid = _open_grid(n)
+        expected = bfs.sequential(grid, n)
+        assert expected[1] == n * n
+        for _ in range(5):
+            reached, count = frontier_kernel(grid=grid, n=n, threads=4)
+            assert reached
+            assert count == n * n, \
+                f"duplicate frontier entries: counted {count}"
+
+    def test_single_cell_grid(self, frontier_kernel):
+        assert frontier_kernel(grid=[[0]], n=1, threads=2) == (True, 1)
+
+    def test_claim_and_append_share_one_critical(self):
+        """Source-shape regression guard: the claim and the append
+        must sit under a single critical — two separate criticals
+        reintroduce the check-then-act race this file documents."""
+        source = inspect.getsource(bfs.kernel_frontier)
+        assert source.count('omp("critical') == 1
+
+
+class TestPlannedKernelAgainstBaseline:
+    @pytest.mark.parametrize("threads", [1, 3, 4])
+    def test_planned_matches_sequential(self, threads):
+        grid = bfs.make_maze(31)
+        expected = bfs.sequential(grid, 31)
+        assert bfs.kernel_planned(grid, 31, threads) == expected
+
+    def test_planned_diamond_graph_no_duplicates(self):
+        n = 13
+        grid = _open_grid(n)
+        for _ in range(5):
+            reached, count = bfs.kernel_planned(grid, n, 4)
+            assert reached
+            assert count == n * n
+
+    def test_planned_unreachable_exit(self):
+        # A wall seals the exit: reached must be False and the count
+        # must cover only the open component.
+        n = 9
+        grid = _open_grid(n)
+        for col in range(n):
+            grid[n - 2][col] = 1
+        grid[n - 1][0] = 1  # no way around the wall row
+        expected = bfs.sequential(grid, n)
+        assert expected[0] is False
+        assert bfs.kernel_planned(grid, n, 3) == expected

@@ -1,0 +1,89 @@
+"""Property tests: the coloring invariant and schedule completeness
+hold for arbitrary indirection maps.
+
+The invariant the whole executor rests on: no two partitions of the
+same color touch a common element, so same-color partitions can run
+with zero synchronization.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.plan import Map, build_plan
+
+#: Arbitrary small indirection maps: each iteration touches up to four
+#: elements drawn from a deliberately tiny universe so conflicts are
+#: common rather than rare.
+entries = st.lists(
+    st.lists(st.integers(min_value=0, max_value=12), max_size=4),
+    min_size=0, max_size=48)
+partition_sizes = st.integers(min_value=1, max_value=9)
+
+
+def _partition_elements(plan, the_map):
+    sets = []
+    for lo, hi in plan.partitions:
+        touched = set()
+        for iteration in range(lo, hi):
+            touched.update(the_map[iteration])
+        sets.append(touched)
+    return sets
+
+
+@settings(max_examples=120, deadline=None)
+@given(entries=entries, size=partition_sizes)
+def test_same_color_partitions_share_no_element(entries, size):
+    the_map = Map("prop", entries)
+    plan = build_plan(the_map, size)
+    touched = _partition_elements(plan, the_map)
+    for members in plan.colors:
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                assert not (touched[a] & touched[b]), \
+                    f"partitions {a} and {b} share a color and " \
+                    f"elements {touched[a] & touched[b]}"
+
+
+@settings(max_examples=120, deadline=None)
+@given(entries=entries, size=partition_sizes)
+def test_colors_are_a_partition_of_the_partitions(entries, size):
+    plan = build_plan(Map("prop", entries), size)
+    flat = [p for members in plan.colors for p in members]
+    assert sorted(flat) == list(range(plan.npartitions))
+
+
+@settings(max_examples=120, deadline=None)
+@given(entries=entries, size=partition_sizes)
+def test_partitions_tile_the_iteration_space(entries, size):
+    plan = build_plan(Map("prop", entries), size)
+    covered = [i for lo, hi in plan.partitions for i in range(lo, hi)]
+    assert covered == list(range(len(entries)))
+
+
+@settings(max_examples=100, deadline=None)
+@given(entries=entries, size=partition_sizes,
+       nthreads=st.integers(min_value=1, max_value=6))
+def test_schedule_covers_every_partition_exactly_once(entries, size,
+                                                      nthreads):
+    plan = build_plan(Map("prop", entries), size)
+    schedule = plan.schedule_for(nthreads)
+    seen = sorted(chunk for per_thread in schedule
+                  for chunks in per_thread for chunk in chunks)
+    assert seen == sorted(plan.partitions)
+
+
+@settings(max_examples=100, deadline=None)
+@given(entries=entries, size=partition_sizes)
+def test_conflicting_partitions_get_distinct_colors(entries, size):
+    """The contrapositive check: every conflicting pair is separated."""
+    the_map = Map("prop", entries)
+    plan = build_plan(the_map, size)
+    touched = _partition_elements(plan, the_map)
+    color_of = {}
+    for color, members in enumerate(plan.colors):
+        for part in members:
+            color_of[part] = color
+    for a in range(plan.npartitions):
+        for b in range(a + 1, plan.npartitions):
+            if touched[a] & touched[b]:
+                assert color_of[a] != color_of[b]

@@ -1,0 +1,143 @@
+"""Unit tests for the inspector: Map, partitioning, coloring,
+scheduling."""
+
+import pytest
+
+from repro.errors import OmpError
+from repro.plan import Map, build_plan
+from repro.plan.planner import _partition_bounds
+
+
+def _color_elements(plan, the_map):
+    """Per-color list of (partition, element set) pairs."""
+    per_color = []
+    for members in plan.colors:
+        pairs = []
+        for part in members:
+            lo, hi = plan.partitions[part]
+            touched = set()
+            for iteration in range(lo, hi):
+                touched.update(the_map[iteration])
+            pairs.append((part, touched))
+        per_color.append(pairs)
+    return per_color
+
+
+class TestMap:
+    def test_entries_are_immutable_tuples(self):
+        m = Map("m", [[1, 2], [2, 3]])
+        assert m.entries == ((1, 2), (2, 3))
+        assert len(m) == 2
+        assert m[1] == (2, 3)
+        assert m.elements() == {1, 2, 3}
+        assert m.arity == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(OmpError):
+            Map("", [[0]])
+
+    def test_empty_map(self):
+        m = Map("empty", [])
+        assert len(m) == 0
+        assert m.arity == 0
+        assert m.elements() == set()
+
+
+class TestPartitionBounds:
+    @pytest.mark.parametrize("total,size", [
+        (10, 3), (10, 10), (10, 100), (1, 1), (7, 2),
+    ])
+    def test_bounds_tile_the_space(self, total, size):
+        bounds = _partition_bounds(total, size)
+        covered = [i for lo, hi in bounds for i in range(lo, hi)]
+        assert covered == list(range(total))
+        assert all(hi - lo <= size for lo, hi in bounds)
+
+    def test_empty_space(self):
+        assert _partition_bounds(0, 4) == ()
+
+
+class TestBuildPlan:
+    def test_partition_size_validated(self):
+        with pytest.raises(OmpError):
+            build_plan(Map("m", [[0]]), 0)
+
+    def test_disjoint_map_is_one_color(self):
+        m = Map("disjoint", [[i] for i in range(8)])
+        plan = build_plan(m, 2)
+        assert plan.ncolors == 1
+        assert plan.conflict_edges == 0
+        assert plan.npartitions == 4
+
+    def test_chain_map_colors(self):
+        # Row-halo chain: partition p conflicts with p-1 and p+1.
+        n = 10
+        m = Map("chain", [tuple(r for r in (i - 1, i, i + 1)
+                                if 0 <= r < n) for i in range(n)])
+        plan = build_plan(m, 2)
+        assert plan.ncolors == 2
+        # 4 partitions in a chain: 3 edges.
+        assert plan.npartitions == 5
+        assert plan.conflict_edges == 4
+
+    def test_all_conflict_map_serializes(self):
+        m = Map("hub", [[0], [0], [0], [0]])
+        plan = build_plan(m, 1)
+        # Every partition touches element 0: one partition per color.
+        assert plan.ncolors == plan.npartitions == 4
+
+    def test_coloring_invariant_explicit(self):
+        m = Map("mix", [[0, 1], [1, 2], [3], [0, 3], [4], [2, 4]])
+        plan = build_plan(m, 1)
+        for pairs in _color_elements(plan, m):
+            for i, (_, a) in enumerate(pairs):
+                for _, b in pairs[i + 1:]:
+                    assert not (a & b)
+
+    def test_empty_map_plan(self):
+        plan = build_plan(Map("none", []), 4)
+        assert plan.total == 0
+        assert plan.npartitions == 0
+        assert plan.ncolors == 0
+
+
+class TestScheduleFor:
+    def test_owner_is_partition_mod_nthreads(self):
+        m = Map("disjoint", [[i] for i in range(9)])
+        plan = build_plan(m, 1)
+        schedule = plan.schedule_for(4)
+        assert len(schedule) == plan.ncolors
+        for per_thread in schedule:
+            for thread, chunks in enumerate(per_thread):
+                for lo, hi in chunks:
+                    part = plan.partitions.index((lo, hi))
+                    assert part % 4 == thread
+
+    def test_schedule_covers_every_partition_once(self):
+        m = Map("chain", [(i, i + 1) for i in range(17)])
+        plan = build_plan(m, 3)
+        schedule = plan.schedule_for(3)
+        seen = [chunk for per_thread in schedule
+                for chunks in per_thread for chunk in chunks]
+        assert sorted(seen) == sorted(plan.partitions)
+
+    def test_schedule_is_cached(self):
+        plan = build_plan(Map("m", [[0], [1]]), 1)
+        assert plan.schedule_for(2) is plan.schedule_for(2)
+
+    def test_invalid_team_size(self):
+        plan = build_plan(Map("m", [[0]]), 1)
+        with pytest.raises(OmpError):
+            plan.schedule_for(0)
+
+    def test_owner_stable_across_colors(self):
+        # A partition keeps its owner whatever color it lands in.
+        n = 12
+        m = Map("chain", [tuple(r for r in (i - 1, i, i + 1)
+                                if 0 <= r < n) for i in range(n)])
+        plan = build_plan(m, 1)
+        schedule = plan.schedule_for(3)
+        for per_thread in schedule:
+            for thread, chunks in enumerate(per_thread):
+                for chunk in chunks:
+                    assert plan.partitions.index(chunk) % 3 == thread

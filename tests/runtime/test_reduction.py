@@ -52,6 +52,34 @@ class TestBuiltinOperators:
             out = reduction.reduction_combine("min", out, value)
         assert out == 2
 
+    def test_min_max_preserve_int_type(self):
+        # The sentinel identities vanish at the first real value, so an
+        # all-integer reduction yields an int (math.inf identities used
+        # to float the result).
+        out = reduction.reduction_init("min")
+        out = reduction.reduction_combine("min", out, 7)
+        out = reduction.reduction_combine("min", out, 3)
+        assert out == 3 and type(out) is int
+        out = reduction.reduction_init("max")
+        out = reduction.reduction_combine("max", out, -9)
+        out = reduction.reduction_combine("max", out, -3)
+        assert out == -3 and type(out) is int
+
+    def test_extreme_identities_order_like_infinities(self):
+        low = reduction.reduction_init("max")   # acts like -inf
+        high = reduction.reduction_init("min")  # acts like +inf
+        assert low < -10**18 < 10**18 < high
+        assert low <= low and high >= high
+        assert not low < low and not high > high
+        assert low < high
+        assert high == math.inf and low == -math.inf
+
+    def test_empty_min_reduction_stays_identity(self):
+        out = reduction.reduction_init("min")
+        merged = reduction.reduction_combine("min", out,
+                                             reduction.reduction_init("min"))
+        assert merged == math.inf
+
     def test_unknown_operator(self):
         with pytest.raises(OmpRuntimeError, match="unknown reduction"):
             reduction.reduction_init("frob")
@@ -64,10 +92,25 @@ class TestDeclareReduction:
         assert reduction.reduction_init("strcat_test") == ""
         assert reduction.reduction_combine("strcat_test", "a", "b") == "ab"
 
-    def test_requires_initializer(self):
-        with pytest.raises(OmpRuntimeError, match="initializer"):
-            reduction.declare_reduction("noinit_test",
-                                        lambda a, b: a + b, None)
+    def test_defaulted_initializer_skips_combiner(self):
+        # A declared reduction without an initializer starts private
+        # copies from the OMITTED sentinel; the combiner never sees it,
+        # so a thread with zero iterations folds out harmlessly.
+        def combiner(out, value):
+            assert out is not reduction.OMITTED
+            assert value is not reduction.OMITTED
+            return out + value
+
+        reduction.declare_reduction("noinit_test", combiner)
+        identity = reduction.reduction_init("noinit_test")
+        assert identity is reduction.OMITTED
+        # Zero-iteration thread: identity merges into a real partial.
+        assert reduction.reduction_combine("noinit_test", 5, identity) == 5
+        # First real value replaces the sentinel outright.
+        assert reduction.reduction_combine("noinit_test", identity, 7) == 7
+        # Both empty: the reduction stays at the identity.
+        assert reduction.reduction_combine(
+            "noinit_test", identity, identity) is reduction.OMITTED
 
     def test_rejects_builtin_names(self):
         with pytest.raises(OmpRuntimeError, match="built-in"):

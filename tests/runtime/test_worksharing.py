@@ -114,6 +114,64 @@ class TestSchedulers:
         assert sizes == sorted(sizes, reverse=True)
         assert sizes[0] > sizes[-1]
 
+    def test_guided_tail_smaller_than_team_makes_progress(self, rt):
+        """Regression: once ``remaining // (2 * nthreads)`` rounds to
+        zero, a zero-sized claim would spin the CAS loop forever; the
+        chunk is clamped to at least one iteration, so a tail smaller
+        than the team still drains."""
+        results = run_loop(rt, threads=4, total=5, kind="guided")
+        everything = sorted(i for mine in results.values()
+                            for i in mine)
+        assert everything == list(range(5))
+
+    def test_guided_chunk_floor_respected(self, rt):
+        sizes = []
+
+        def region():
+            bounds = rt.for_bounds([0, 100, 1])
+            rt.for_init(bounds, kind="guided", chunk=7)
+            while rt.for_next(bounds):
+                sizes.append(bounds[1] - bounds[0])
+            rt.for_end(bounds)
+
+        rt.parallel_run(region, num_threads=1)
+        assert sum(sizes) == 100
+        # Every chunk honors the user floor except a smaller final
+        # remainder.
+        assert all(size >= 7 for size in sizes[:-1])
+
+    def test_guided_boundary_unit(self):
+        """Direct boundary check of ``_next_guided``: remaining smaller
+        than ``2 * nthreads`` must still claim one iteration per call
+        and terminate."""
+        from types import SimpleNamespace
+
+        from repro.runtime.worksharing import _next_guided
+
+        class Counter:
+            def __init__(self):
+                self.value = 0
+
+            def load(self):
+                return self.value
+
+            def compare_exchange(self, expected, replacement):
+                if self.value != expected:
+                    return False
+                self.value = replacement
+                return True
+
+        info = SimpleNamespace(slot=SimpleNamespace(counter=Counter()),
+                               chunk=None, total=3,
+                               team=SimpleNamespace(size=8))
+        claims = []
+        while True:
+            chunk = _next_guided(info)
+            if chunk is None:
+                break
+            claims.append(chunk)
+        assert claims == [(0, 1), (1, 2), (2, 3)]
+
     def test_invalid_chunk_rejected(self, rt):
         def region():
             bounds = rt.for_bounds([0, 10, 1])
