@@ -125,13 +125,14 @@ def smoke_records(threads: int = 4, regions: int = 200,
     failures = []
     # The 2x bound characterizes the disarmed dispatch path.  With the
     # tracer recording (OMP4PY_TRACE / OMP4PY_METRICS_PORT armed for
-    # the whole smoke process) every region pays a constant per-event
-    # cost on top, which compresses the hot/cold ratio without saying
-    # anything about the pool — so armed runs keep the measurement but
-    # skip the ratio verdict.
-    if pure_runtime.tracer.enabled:
+    # the whole smoke process) or the sampling profiler maintaining
+    # directive stacks (OMP4PY_PROFILE) every region pays a constant
+    # per-event cost on top, which compresses the hot/cold ratio
+    # without saying anything about the pool — so armed runs keep the
+    # measurement but skip the ratio verdict.
+    if pure_runtime.tracer.enabled or pure_runtime.sampler is not None:
         print("[reproduce] region-overhead: ratio gate skipped "
-              "(tracer armed)")
+              "(instrumentation armed)")
     elif result["ratio"] < 2.0:
         failures.append(
             f"region-overhead: hot teams only {result['ratio']:.2f}x "

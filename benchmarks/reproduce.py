@@ -155,6 +155,8 @@ def write_bench_json(out_dir: pathlib.Path, records: list[dict]) -> None:
             "OMP4PY_METRICS": os.environ.get("OMP4PY_METRICS"),
             "OMP4PY_METRICS_PORT": os.environ.get(
                 "OMP4PY_METRICS_PORT"),
+            "OMP4PY_PROFILE": os.environ.get("OMP4PY_PROFILE"),
+            "OMP4PY_PROFILE_HZ": os.environ.get("OMP4PY_PROFILE_HZ"),
         },
         "total_wall_s": sum(r["wall_s"] for r in records),
         "kernels": records,
@@ -228,6 +230,23 @@ def run_smoke(out_dir: pathlib.Path) -> None:
     except Exception as error:  # noqa: BLE001 - smoke verdict
         failures.append(f"plan: {type(error).__name__}: {error}")
     write_bench_json(out_dir, records)
+    try:
+        # Ledger ride-along: append this run to BENCH_history.jsonl
+        # (seeded from the committed ledger on a fresh workspace) and
+        # print the cross-run trend.  Never fails the smoke verdict.
+        import perf_history
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        entry = perf_history.record_smoke(
+            out_dir / "BENCH_smoke.json",
+            out_dir / "BENCH_history.jsonl",
+            seed_path=repo_root / "results" / "BENCH_history.jsonl")
+        print(f"[reproduce] perf ledger: recorded {entry['sha'][:12]} "
+              f"({entry['backend']}) in {out_dir}/BENCH_history.jsonl")
+        print(perf_history.format_trend(
+            perf_history.load_history(out_dir / "BENCH_history.jsonl")))
+    except Exception as error:  # noqa: BLE001 - ledger is best-effort
+        print(f"[reproduce] perf ledger skipped: "
+              f"{type(error).__name__}: {error}")
     if failures:
         print("[reproduce] SMOKE FAILURES:")
         for failure in failures:

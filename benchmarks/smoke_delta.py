@@ -8,10 +8,17 @@ in ``$GITHUB_STEP_SUMMARY`` instead of only failing silently on the
 gate thresholds.  Always exits 0 — cross-machine wall times are noisy,
 and the authoritative gates live elsewhere.
 
+With ``--history`` it also renders the cross-run trend from the
+``BENCH_history.jsonl`` ledger (see ``benchmarks/perf_history.py``),
+so the summary shows both "vs the committed baseline" and "vs the
+best/previous recorded runs".
+
 Usage::
 
     python benchmarks/smoke_delta.py results/BENCH_smoke.json \
-        results-smoke/BENCH_smoke.json >> "$GITHUB_STEP_SUMMARY"
+        results-smoke/BENCH_smoke.json \
+        --history results-smoke/BENCH_history.jsonl \
+        >> "$GITHUB_STEP_SUMMARY"
 """
 
 from __future__ import annotations
@@ -95,11 +102,18 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("baseline", help="committed BENCH_smoke.json")
     parser.add_argument("current", help="freshly produced BENCH_smoke.json")
+    parser.add_argument("--history", default=None,
+                        help="BENCH_history.jsonl ledger to trend "
+                             "(appended below the baseline table)")
     args = parser.parse_args(argv)
     baseline_path = pathlib.Path(args.baseline)
     current_path = pathlib.Path(args.current)
     print(format_delta(_load(baseline_path), _load(current_path),
                        args.baseline, args.current))
+    if args.history:
+        import perf_history
+        print(perf_history.format_trend(
+            perf_history.load_history(args.history)))
     return 0
 
 

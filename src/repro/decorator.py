@@ -33,8 +33,9 @@ def runtime_for(mode: Mode):
     runtime is auto-instrumented on the way out
     (see :mod:`repro.ompt.auto`); likewise ``OMP4PY_FLIGHT`` /
     ``OMP4PY_WATCHDOG`` arm the hang diagnostics
-    (:mod:`repro.diagnostics.auto`).  Unset knobs cost a few
-    environment reads, nothing more.
+    (:mod:`repro.diagnostics.auto`) and ``OMP4PY_PROFILE`` the
+    sampling profiler (:mod:`repro.sampling.auto`).  Unset knobs cost
+    a few environment reads, nothing more.
     """
     if mode is Mode.PURE:
         from repro.runtime import pure_runtime
@@ -50,6 +51,9 @@ def runtime_for(mode: Mode):
     if env.flight_spec() is not None or env.watchdog_spec() is not None:
         from repro.diagnostics.auto import auto_diagnose
         auto_diagnose(runtime)
+    if env.profile_spec() is not None:
+        from repro.sampling.auto import auto_sample
+        auto_sample(runtime)
     return runtime
 
 

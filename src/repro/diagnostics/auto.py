@@ -119,6 +119,9 @@ def dump_diagnosis(runtime, stream=None, reason: str = "dump") -> dict:
                   "threads": [], "cycles": [], "unsatisfiable": []}
         if recorder is not None:
             report["flight"] = recorder.dump(tail=16)
+        sampler = getattr(runtime, "sampler", None)
+        if sampler is not None:
+            report["sampler"] = sampler.status(recent=5)
         print(json.dumps(report, indent=2), file=stream)
         return report
     snapshot = diag.snapshot()

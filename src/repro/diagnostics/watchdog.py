@@ -193,6 +193,11 @@ def build_report(runtime, snapshot, graph, *, interval=None,
     }
     if flight is not None:
         report["flight"] = flight.dump(tail=16)
+    sampler = getattr(runtime, "sampler", None)
+    if sampler is not None:
+        # Profiler evidence: what each thread was actually executing
+        # in the moments before the stall (last folded stacks).
+        report["sampler"] = sampler.status(recent=5)
     return report
 
 
@@ -244,5 +249,18 @@ def format_report(report: dict) -> str:
             kinds = " ".join(event["kind"] for event in tail) or "(empty)"
             lines.append(f"  {entry['thread']} (ident {ident}): "
                          f"... {kinds}")
+    sampler = report.get("sampler")
+    if sampler:
+        lines.append(
+            f"sampler: {'armed' if sampler['armed'] else 'stopped'} at "
+            f"{sampler['hz']:g} Hz, {sampler['samples']} sample(s) "
+            f"{sampler['by_state']}")
+        for thread, stacks in sorted(
+                sampler.get("recent_stacks", {}).items()):
+            if not stacks:
+                continue
+            lines.append(f"  {thread} last sampled at:")
+            for stack in stacks[-3:]:
+                lines.append(f"    {stack}")
     lines.append("=" * 66)
     return "\n".join(lines)

@@ -17,9 +17,12 @@ Two families of variables are honoured, mirroring the paper:
   observability knobs ``OMP4PY_TRACE`` and ``OMP4PY_METRICS`` that
   auto-instrument every runtime bound by the ``@omp`` decorator (see
   :mod:`repro.ompt.auto` and docs/observability.md),
-  ``OMP4PY_METRICS_PORT`` serving live ``/metrics`` (Prometheus) and
-  ``/explain`` (DAG summary) over HTTP while the workload runs
-  (:mod:`repro.explain.live`), and the hang
+  ``OMP4PY_METRICS_PORT`` serving live ``/metrics`` (Prometheus),
+  ``/explain`` (DAG summary) and ``/profile`` (sampling profile) over
+  HTTP while the workload runs (:mod:`repro.explain.live`), the
+  sampling-profiler knobs ``OMP4PY_PROFILE`` (truthy, or an output
+  path for the folded stacks) and ``OMP4PY_PROFILE_HZ`` (sampling
+  rate, default 200 Hz — see :mod:`repro.sampling`), and the hang
   diagnostics knobs ``OMP4PY_FLIGHT`` (flight recorder: truthy,
   a ring capacity, an output path, or ``capacity:path``),
   ``OMP4PY_WATCHDOG`` (stall watchdog: truthy for the default
@@ -285,6 +288,40 @@ def trace_spec() -> str | None:
 def metrics_spec() -> str | None:
     """``OMP4PY_METRICS``: ``None`` / ``"1"`` / an output path."""
     return _observability_spec("OMP4PY_METRICS")
+
+
+def profile_spec() -> str | None:
+    """``OMP4PY_PROFILE``: ``None`` / ``"1"`` / an output path.
+
+    Arms the sampling profiler (:mod:`repro.sampling`) on every
+    runtime the ``@omp`` decorator binds; a path writes the folded
+    stacks at interpreter exit (speedscope JSON for ``.json`` paths,
+    collapsed text otherwise).
+    """
+    return _observability_spec("OMP4PY_PROFILE")
+
+
+#: Default sampling rate: 200 Hz == one sample per 5 ms.
+DEFAULT_PROFILE_HZ = 200.0
+
+
+def profile_hz() -> float:
+    """``OMP4PY_PROFILE_HZ``: sampling rate in samples per second.
+
+    Default 200 (5 ms interval); capped at 10 kHz because a pure-Python
+    sampler cannot honour more and would only burn the GIL trying.
+    """
+    raw = os.environ.get("OMP4PY_PROFILE_HZ")
+    if raw is None or not raw.strip():
+        return DEFAULT_PROFILE_HZ
+    try:
+        hz = float(raw)
+    except ValueError:
+        raise OmpError(f"OMP4PY_PROFILE_HZ must be a sampling rate in "
+                       f"Hz, got {raw!r}") from None
+    if hz <= 0:
+        raise OmpError(f"OMP4PY_PROFILE_HZ must be positive, got {hz}")
+    return min(hz, 10_000.0)
 
 
 def metrics_port() -> int | None:

@@ -22,6 +22,11 @@ user source line (via the origin registry, so sites inside generated
   conflict-free by coloring instead of queueing on a mutex — the
   convoy is fixed by the plan, not hidden.
 
+When a sampling-profiler report (``repro.sampling``) rides along and
+one directive dominates the on-CPU samples, the dominant finding is
+annotated with that directive's top sampled frames — the classifier
+names the cause, the sampler names the exact lines burning the time.
+
 ``lost_s`` is thread-seconds (summed across threads); ``fraction``
 normalizes by ``span × nthreads`` so findings are comparable across
 runs.
@@ -78,12 +83,14 @@ def _mutex_directive(kind) -> str:
 
 def classify(analysis: DagAnalysis, *, nthreads: int,
              wall: float | None = None, measurement=None,
-             events=None) -> list[Finding]:
+             events=None, samples=None) -> list[Finding]:
     """Rank the causes of lost parallelism, worst first.
 
     ``events`` (the raw trace) enables the lock-convoy what-if rerun;
     ``measurement`` (an :class:`~repro.analysis.timing.Measurement`)
-    enables the gil-serialization cross-check.
+    enables the gil-serialization cross-check; ``samples`` (a
+    :meth:`repro.sampling.sampler.Sampler.report` payload) enables the
+    sampled hot-frame annotation.
     """
     findings: list[Finding] = []
     span = analysis.span_s
@@ -273,4 +280,52 @@ def classify(analysis: DagAnalysis, *, nthreads: int,
                    "partitions": entry["partitions"],
                    "colors": entry["colors"],
                    "conflict_edges": entry["conflict_edges"]}))
+
+    if samples:
+        _attach_samples(findings, samples)
     return findings
+
+
+#: A directive must hold at least this share of the on-CPU samples
+#: before the sampler's evidence is quoted.
+SAMPLE_DOMINANCE = 0.5
+
+
+def _attach_samples(findings: list[Finding], samples: dict) -> None:
+    """Annotate with sampling evidence when one directive dominates.
+
+    The sampler's estimate is orthogonal to the trace-derived numbers:
+    the classifier says *why* time was lost, the samples say *where
+    the CPU actually was*.  Quoting the top frames turns "the critical
+    path is this loop" into "and these are the three lines inside it".
+    """
+    directives = samples.get("directives") or {}
+    total_self = sum(entry.get("self", 0)
+                     for entry in directives.values())
+    if total_self <= 0:
+        return
+    label, entry = max(directives.items(),
+                       key=lambda item: item[1].get("self", 0))
+    share = entry.get("self", 0) / total_self
+    if share < SAMPLE_DOMINANCE:
+        return
+    hot = (samples.get("hot_frames") or {}).get(label) or []
+    top = [item["frame"] for item in hot[:3]]
+    evidence = {"sampled_directive": label,
+                "sampled_self_share": share,
+                "sampled_self_s": entry.get("self_s"),
+                "sampled_top_frames": top}
+    note = (f"sampling: {label} holds {share:.0%} of on-CPU samples")
+    if top:
+        note += f"; hottest frames: {', '.join(top)}"
+    for finding in findings:
+        if finding.category != "plan-execution":
+            finding.message += f" [{note}]"
+            finding.extra.update(evidence)
+            return
+    findings.append(Finding(
+        category="sampled-hotspot",
+        lost_s=entry.get("self_s") or 0.0, fraction=0.0,
+        message=(f"{note} — no trace-derived finding to pin it on, "
+                 f"reported standalone"),
+        location=None, directive=label, extra=evidence))

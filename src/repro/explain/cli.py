@@ -59,6 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the full report to this path")
     parser.add_argument("--trace-capacity", type=int, default=1_000_000,
                         help="tracer event-buffer bound")
+    parser.add_argument("--sample", action="store_true",
+                        help="arm the sampling profiler during the "
+                             "run; feeds directive-attributed hot "
+                             "frames into the findings")
+    parser.add_argument("--sample-hz", type=float, default=None,
+                        help="sampling rate for --sample "
+                             "(default: OMP4PY_PROFILE_HZ or 200)")
     parser.add_argument("--check", action="store_true",
                         help="exit nonzero unless wall/threads <= "
                              "critical path <= wall (within "
@@ -71,8 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def explain_app(app: str, mode, threads: int, profile: str,
                 repeats: int = 1,
-                trace_capacity: int = 1_000_000) -> dict:
-    """Trace one registered app and build its explain report."""
+                trace_capacity: int = 1_000_000,
+                sample_hz: float | None = None) -> dict:
+    """Trace one registered app and build its explain report.
+
+    ``sample_hz`` additionally arms the sampling profiler for the
+    run, attaching directive-attributed hot frames to the findings.
+    """
     from repro.analysis.timing import measure
     from repro.apps import get_app
     from repro.decorator import runtime_for
@@ -88,6 +100,10 @@ def explain_app(app: str, mode, threads: int, profile: str,
     old_capacity = tracer.capacity
     tracer.capacity = trace_capacity
     runtime.attach_tool(tool)
+    sampler = None
+    if sample_hz is not None:
+        from repro.sampling.sampler import Sampler
+        sampler = Sampler(runtime, interval=1.0 / sample_hz).start()
     tracer.start()
     try:
         def make_args():
@@ -102,11 +118,23 @@ def explain_app(app: str, mode, threads: int, profile: str,
         events = tracer.stop()
         tracer.capacity = old_capacity
         runtime.detach_tool(tool)
+        if sampler is not None:
+            sampler.stop()
+    samples = sampler.report() if sampler is not None else None
     analysis = build_dag(events)
     findings = classify(analysis, nthreads=threads,
                         wall=measurement.wall,
-                        measurement=measurement, events=events)
+                        measurement=measurement, events=events,
+                        samples=samples)
     report = _report(analysis, findings, target=app, kind="app")
+    if samples is not None:
+        report["samples"] = {
+            "hz": sample_hz,
+            "total": samples["samples"],
+            "by_state": samples["by_state"],
+            "directives": samples["directives"],
+            "hot_frames": samples["hot_frames"],
+        }
     report["run"] = {
         "app": app, "mode": mode.value, "threads": threads,
         "profile": profile, "repeats": repeats,
@@ -265,9 +293,14 @@ def main(argv=None) -> int:
     else:
         from repro.modes import Mode
         mode = Mode.parse(args.mode)
+        sample_hz = None
+        if args.sample or args.sample_hz is not None:
+            from repro import env
+            sample_hz = args.sample_hz or env.profile_hz()
         report = explain_app(args.target, mode, args.threads,
                              args.profile, repeats=args.repeats,
-                             trace_capacity=args.trace_capacity)
+                             trace_capacity=args.trace_capacity,
+                             sample_hz=sample_hz)
         if args.sweep:
             counts = sorted({int(part) for part in
                              args.sweep.split(",") if part.strip()})

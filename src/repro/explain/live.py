@@ -8,6 +8,9 @@ serving:
   metrics registry (scrapeable by a stock Prometheus);
 * ``GET /explain`` — the current DAG summary as JSON, rebuilt from a
   snapshot of the (still recording) tracer on every request;
+* ``GET /profile`` — the sampling profiler's directive/hot-frame
+  report as JSON (``?format=collapsed`` for folded-stack text), or
+  ``{"armed": false}`` when ``OMP4PY_PROFILE`` is off;
 * ``GET /healthz`` — liveness probe.
 
 Armed by ``OMP4PY_METRICS_PORT`` through the decorator's
@@ -50,6 +53,21 @@ class MetricsServer:
         payload["recording"] = self.runtime.tracer.enabled
         return payload
 
+    def samples_payload(self) -> dict:
+        sampler = getattr(self.runtime, "sampler", None)
+        if sampler is None:
+            return {"armed": False, "runtime": self.runtime.name}
+        payload = sampler.report()
+        payload["runtime"] = self.runtime.name
+        return payload
+
+    def samples_collapsed(self) -> str:
+        sampler = getattr(self.runtime, "sampler", None)
+        if sampler is None:
+            return "# sampler disarmed (set OMP4PY_PROFILE)\n"
+        from repro.sampling.exporters import collapsed_text
+        return collapsed_text(sampler.store)
+
     # -- lifecycle -------------------------------------------------------
 
     def start(self) -> "MetricsServer":
@@ -80,6 +98,16 @@ class MetricsServer:
                         body = json.dumps(
                             server.explain_payload()).encode()
                         self._send(200, "application/json", body)
+                    elif self.path.split("?")[0] == "/profile":
+                        if "format=collapsed" in self.path:
+                            self._send(200,
+                                       "text/plain; charset=utf-8",
+                                       server.samples_collapsed()
+                                       .encode())
+                        else:
+                            body = json.dumps(
+                                server.samples_payload()).encode()
+                            self._send(200, "application/json", body)
                     elif self.path.split("?")[0] == "/healthz":
                         self._send(200, "application/json",
                                    b'{"ok": true}')

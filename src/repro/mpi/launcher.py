@@ -7,10 +7,35 @@ Exceptions in any rank abort the launch and re-raise at the caller.
 
 from __future__ import annotations
 
+import os
 import threading
 
 from repro.errors import OmpRuntimeError
 from repro.mpi.comm import Intracomm, _Cluster, _set_comm
+
+#: Environment variables real MPI launchers set, in precedence order
+#: (Open MPI, MPICH/Hydra, PMIx, Slurm).
+_RANK_VARIABLES = ("OMPI_COMM_WORLD_RANK", "PMI_RANK", "PMIX_RANK",
+                   "SLURM_PROCID")
+
+
+def env_rank() -> int | None:
+    """The process's MPI rank per the launcher environment, or ``None``
+    outside an external ``mpiexec``/``srun`` launch.
+
+    The in-process :func:`mpirun` below does not set these — its ranks
+    are threads sharing one runtime (and one trace); rank-aware
+    artifact naming only matters when each rank is its own process.
+    """
+    for variable in _RANK_VARIABLES:
+        raw = os.environ.get(variable)
+        if raw is None or not raw.strip():
+            continue
+        try:
+            return int(raw)
+        except ValueError:
+            continue
+    return None
 
 
 def mpirun(nprocs: int, main, *args, **kwargs) -> list:

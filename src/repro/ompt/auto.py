@@ -97,12 +97,28 @@ def deactivate(runtime) -> None:
     runtime.tracer.stop()
 
 
+def _rank_path(path: str, rank: int) -> str:
+    """``trace.json`` → ``trace.rank<k>.json`` (suffix-preserving)."""
+    import os
+    stem, extension = os.path.splitext(path)
+    return f"{stem}.rank{rank}{extension}"
+
+
 def _write_trace(runtime, path: str) -> None:
     from repro.ompt.exporters import write_chrome_trace
     events = runtime.tracer.stop()
+    metadata = {"runtime": runtime.name}
+    # Under an external MPI launcher every rank process would clobber
+    # the same file; shard by rank and record it so
+    # ``python -m repro.profile --merge`` can rebuild one timeline.
+    from repro.mpi.launcher import env_rank
+    rank = env_rank()
+    if rank is not None:
+        path = _rank_path(path, rank)
+        metadata["rank"] = rank
     try:
         write_chrome_trace(path, events, dropped=events.dropped,
-                           metadata={"runtime": runtime.name})
+                           metadata=metadata)
     except OSError as error:  # pragma: no cover - exit-time best effort
         print(f"omp4py: cannot write trace to {path}: {error}",
               file=sys.stderr)

@@ -10,10 +10,20 @@ attached, then writes three artifacts into ``--out``:
   (per-thread chunks/iterations, barrier wait, task latencies, mutex
   contention, per-region projection imbalance) plus the measurement.
 
+With ``--sample`` the sampling profiler (:mod:`repro.sampling`) runs
+alongside and two more artifacts appear: ``<app>_<mode>_samples.
+collapsed`` (folded stacks for flamegraph tools) and ``<app>_<mode>_
+samples.speedscope.json`` (open at https://speedscope.app).
+
+``--merge`` unions per-rank MPI trace files (``trace.rank<k>.json``)
+into one Chrome trace with one process lane per rank.
+
 Usage::
 
     python -m repro.profile pi --threads 4
     python -m repro.profile qsort --mode pure --profile test --out prof
+    python -m repro.profile qsort --sample --sample-hz 200
+    python -m repro.profile --merge out/trace.rank*.json --out merged
     python -m repro.profile --list
 """
 
@@ -58,6 +68,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--strict", action="store_true",
                         help="exit nonzero when the trace dropped "
                              "events (incomplete artifacts)")
+    parser.add_argument("--sample", action="store_true",
+                        help="run the sampling profiler alongside; "
+                             "writes collapsed + speedscope artifacts")
+    parser.add_argument("--sample-hz", type=float, default=None,
+                        help="sampling rate for --sample "
+                             "(default: OMP4PY_PROFILE_HZ or 200)")
+    parser.add_argument("--merge", nargs="+", metavar="TRACE",
+                        help="merge per-rank trace JSON files into "
+                             "one timeline (writes trace.merged.json "
+                             "into --out) and exit")
     return parser
 
 
@@ -142,20 +162,63 @@ def _print_summary(report: dict, out=None) -> None:
               f"mean {imbalance['mean']:.2f}", file=out)
 
 
+def merge_main(paths, out: str) -> int:
+    """The ``--merge`` entry: union rank traces into one document."""
+    from repro.ompt.exporters import merge_chrome_traces
+    payloads = []
+    for path in paths:
+        payloads.append(json.loads(
+            pathlib.Path(path).read_text(encoding="utf-8")))
+    merged = merge_chrome_traces(payloads)
+    out_path = pathlib.Path(out)
+    if out_path.suffix == ".json":
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+    else:
+        out_path.mkdir(parents=True, exist_ok=True)
+        out_path = out_path / "trace.merged.json"
+    out_path.write_text(json.dumps(merged), encoding="utf-8")
+    problems = validate_chrome_trace(merged)
+    print(f"[profile] merged {len(payloads)} rank trace(s), "
+          f"{merged['otherData']['events']} events -> {out_path}")
+    if merged["otherData"]["unaligned_ranks"]:
+        print(f"[profile] WARNING: rank(s) "
+              f"{merged['otherData']['unaligned_ranks']} had no epoch "
+              f"anchor; their timestamps are not aligned",
+              file=sys.stderr)
+    if problems:
+        print(f"[profile] WARNING: merged trace schema problems: "
+              f"{problems[:3]}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.list:
         print("\n".join(list_apps()))
         return 0
+    if args.merge:
+        return merge_main(args.merge, args.out)
     if not args.app:
         build_parser().error("app name required (or --list)")
     mode = Mode.parse(args.mode)
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
 
-    _measurement, report, trace, prometheus = profile_app(
-        args.app, mode, args.threads, args.profile,
-        repeats=args.repeats, trace_capacity=args.trace_capacity)
+    sampler = None
+    if args.sample or args.sample_hz is not None:
+        from repro import env
+        from repro.sampling.sampler import Sampler
+        hz = args.sample_hz or env.profile_hz()
+        sampler = Sampler(runtime_for(mode),
+                          interval=1.0 / hz).start()
+    try:
+        _measurement, report, trace, prometheus = profile_app(
+            args.app, mode, args.threads, args.profile,
+            repeats=args.repeats, trace_capacity=args.trace_capacity)
+    finally:
+        if sampler is not None:
+            sampler.stop()
 
     stem = f"{args.app}_{mode.value}"
     trace_path = out_dir / f"{stem}_trace.json"
@@ -175,7 +238,28 @@ def main(argv=None) -> int:
         print(f"[profile] WARNING: trace schema problems: {problems[:3]}",
               file=sys.stderr)
     _print_summary(report)
-    print(f"[profile] artifacts: {trace_path}, {prom_path}, {json_path}")
+    artifacts = [trace_path, prom_path, json_path]
+    if sampler is not None:
+        from repro.sampling.exporters import (write_collapsed,
+                                              write_speedscope)
+        collapsed_path = out_dir / f"{stem}_samples.collapsed"
+        speedscope_path = out_dir / f"{stem}_samples.speedscope.json"
+        write_collapsed(collapsed_path, sampler.store)
+        write_speedscope(speedscope_path, sampler.store,
+                         interval=sampler.interval,
+                         name=f"{args.app} ({mode.value})")
+        artifacts += [collapsed_path, speedscope_path]
+        by_state = dict(sampler.store.by_state)
+        print(f"[profile] samples: {sampler.store.total} "
+              f"({by_state}) at {1.0 / sampler.interval:.0f} Hz")
+        for label, entry in sorted(
+                sampler.store.directive_summary(
+                    sampler.interval).items(),
+                key=lambda item: -item[1]["self"]):
+            print(f"[profile]   {label}: ~{entry['self_s']:.4f}s "
+                  f"self-CPU, ~{entry['wait_s']:.4f}s waiting")
+    print(f"[profile] artifacts: "
+          + ", ".join(str(path) for path in artifacts))
     if args.strict and dropped:
         print(f"[profile] STRICT: failing — {dropped} dropped event(s)",
               file=sys.stderr)

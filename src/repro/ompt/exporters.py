@@ -165,6 +165,58 @@ def validate_chrome_trace(payload) -> list[str]:
     return problems
 
 
+def merge_chrome_traces(payloads) -> dict:
+    """Union per-rank trace documents into one timeline.
+
+    Each input is a full trace document (typically the per-rank
+    ``trace.rank<k>.json`` files :mod:`repro.ompt.auto` writes under
+    MPI).  Ranks become processes: payload ``k`` keeps its events with
+    ``pid`` remapped to ``k`` (or its recorded ``otherData.rank``) and
+    gains a ``process_name`` metadata row.  When every payload carries
+    an ``epoch_start_unix_s`` anchor, timestamps are shifted onto a
+    common base (the earliest rank's start) so cross-rank ordering is
+    real; anchorless payloads are merged unshifted with a note in
+    ``otherData.unaligned_ranks``.
+    """
+    rows: list[dict] = []
+    other: dict = {"producer": "repro.ompt.merge",
+                   "ranks": len(payloads), "unaligned_ranks": []}
+    anchors = [payload.get("otherData", {}).get("epoch_start_unix_s")
+               for payload in payloads]
+    known = [anchor for anchor in anchors if anchor is not None]
+    base = min(known) if known else None
+    dropped = 0
+    for number, payload in enumerate(payloads):
+        data = payload.get("otherData", {})
+        rank = data.get("rank", number)
+        dropped += data.get("dropped_events", 0)
+        shift_us = 0.0
+        if base is not None and anchors[number] is not None:
+            shift_us = (anchors[number] - base) * 1e6
+        elif base is not None:
+            other["unaligned_ranks"].append(rank)
+        rows.append({"name": "process_name", "ph": "M", "pid": rank,
+                     "tid": 0, "ts": 0,
+                     "args": {"name": f"mpi rank {rank}"}})
+        for event in payload.get("traceEvents", []):
+            row = dict(event)
+            row["pid"] = rank
+            if row.get("ph") != "M":
+                row["ts"] = row.get("ts", 0) + shift_us
+            rows.append(row)
+    other["events"] = len(rows)
+    other["dropped_events"] = dropped
+    if base is not None:
+        other["epoch_start_unix_s"] = base
+    backends = {payload.get("otherData", {}).get("backend")
+                for payload in payloads}
+    backends.discard(None)
+    if len(backends) == 1:
+        other["backend"] = backends.pop()
+    return {"traceEvents": rows, "displayTimeUnit": "ms",
+            "otherData": other}
+
+
 # ---------------------------------------------------------------------------
 # Prometheus text exposition
 

@@ -6,9 +6,9 @@ next to ``python -m repro.lint`` and ``python -m repro.analysis.report``.
 
 import sys
 
-from repro.ompt.cli import build_parser, main, profile_app
+from repro.ompt.cli import build_parser, main, merge_main, profile_app
 
-__all__ = ["build_parser", "main", "profile_app"]
+__all__ = ["build_parser", "main", "merge_main", "profile_app"]
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -105,6 +105,10 @@ class OmpRuntime:
         #: to block on — the raw material of the watchdog's wait-for
         #: graph.
         self.diag = None
+        #: Sampling profiler (:mod:`repro.sampling`): ``None`` when
+        #: disarmed.  Directive boundaries read this one attribute and
+        #: branch on ``None`` — same disabled-cost discipline again.
+        self.sampler = None
 
     # ------------------------------------------------------------------
     # Tool interface (see :mod:`repro.ompt`)
@@ -176,6 +180,8 @@ class OmpRuntime:
         diag = self.diag
         if diag is not None:
             diag.team_begin(team)
+        sampler = self.sampler
+        region_site = caller_site() if sampler is not None else None
         copyin_values = [(key, self._tp_dict().get(key, _TP_MISSING))
                          for key in copyin]
         binder = self._binder
@@ -192,6 +198,8 @@ class OmpRuntime:
                 tool.implicit_task(index, "begin", size)
             if diag is not None:
                 diag.thread_enter(team, index)
+            mark = (sampler.region_enter("parallel", region_site)
+                    if sampler is not None else 0)
             begin = time.thread_time()
             try:
                 for key, value in copyin_values:
@@ -216,6 +224,10 @@ class OmpRuntime:
                     # never arrive at any further barrier of this team.
                     diag.thread_exit(team, index)
                 team.cpu_times[index] = time.thread_time() - begin
+                if sampler is not None:
+                    # Truncate to the pre-region depth: also cleans up
+                    # inner markers an exception skipped past.
+                    sampler.region_exit(mark)
                 if self.tracer.enabled:
                     self.tracer.record("itask_end", index, team.region_id)
                 if tool is not None:
@@ -308,6 +320,9 @@ class OmpRuntime:
     def for_init(self, bounds, kind: str = "static", chunk=None,
                  ordered: bool = False, nowait: bool = False) -> None:
         chunk = int(chunk) if chunk is not None else None
+        sampler = self.sampler
+        if sampler is not None:
+            sampler.loop_enter(caller_site())
         worksharing.init_loop(self, bounds, kind, chunk, ordered, nowait)
 
     def for_next(self, bounds) -> bool:
@@ -327,7 +342,13 @@ class OmpRuntime:
 
     def for_end(self, bounds) -> None:
         if not bounds[2].nowait:
+            # Popped after the implicit barrier, so wait time at the
+            # loop's end attributes to the loop directive, not the
+            # enclosing region.
             self.barrier()
+        sampler = self.sampler
+        if sampler is not None:
+            sampler.loop_exit()
 
     @staticmethod
     def trip_count(start: int, stop: int, step: int) -> int:
@@ -582,6 +603,8 @@ class OmpRuntime:
         frame = self.current_frame()
         team = frame.team
         node = TaskNode(fn, team, self.lowlevel)
+        if self.sampler is not None:
+            node.site = caller_site()
         if self.tracer.enabled:
             self.tracer.record("task_submit", frame.thread_num, id(node),
                                frame.task_id, *caller_site())
@@ -808,11 +831,16 @@ class OmpRuntime:
         diag = self.diag
         if diag is not None:
             diag.task_started(node)
+        sampler = self.sampler
+        mark = (sampler.region_enter("task", node.site)
+                if sampler is not None else 0)
         try:
             node.fn()
         except BaseException as error:  # noqa: BLE001 - raised at join
             node.team.record_error(frame.thread_num, error)
         finally:
+            if sampler is not None:
+                sampler.region_exit(mark)
             stack.pop()
             if self.tracer.enabled:
                 self.tracer.record("task_finish", frame.thread_num,

@@ -33,11 +33,14 @@ class TaskNode:
     """One explicit task: function, state machine, completion event."""
 
     __slots__ = ("fn", "state", "event", "team", "dep_lock",
-                 "dep_done", "successors", "deps_remaining")
+                 "dep_done", "successors", "deps_remaining", "site")
 
     def __init__(self, fn, team, lowlevel):
         self.fn = fn
         self.team = team
+        #: Submission call site, set only when the sampler is armed
+        #: (the profiler's directive label for this task).
+        self.site = None
         self.state = lowlevel.make_counter(FREE)
         self.event = lowlevel.make_event()
         # Dependence bookkeeping (inert unless depend clauses are used).

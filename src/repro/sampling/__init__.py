@@ -1,0 +1,26 @@
+"""Directive-aware sampling profiler (the ``OMP4PY_PROFILE`` knob).
+
+A daemon thread walks ``sys._current_frames()`` at a configurable
+interval (default 5 ms), classifies every runtime thread's sample as
+on-CPU vs waiting by cross-referencing the diagnostics blocking
+records, and tags each sample with the innermost active OpenMP
+directive — resolved through the transform origin registry, so folded
+stacks read ``user_file:line → <omp parallel @ file:line> → frames``.
+
+Arming follows the house observability pattern: the ``@omp`` decorator
+arms it from the environment (:mod:`repro.sampling.auto`), tests and
+the profile CLI arm it programmatically, and the disarmed cost at every
+instrumented runtime site is one attribute read (``runtime.sampler``)
+plus a ``None`` branch.
+"""
+
+from repro.sampling.sampler import FoldedStore, Sampler
+from repro.sampling.exporters import (collapsed_text,
+                                      chrome_trace_samples,
+                                      speedscope_profile,
+                                      validate_collapsed,
+                                      validate_speedscope)
+
+__all__ = ["Sampler", "FoldedStore", "collapsed_text",
+           "speedscope_profile", "chrome_trace_samples",
+           "validate_collapsed", "validate_speedscope"]

@@ -1,0 +1,79 @@
+"""Environment-driven arming of the sampling profiler
+(``OMP4PY_PROFILE`` / ``OMP4PY_PROFILE_HZ``).
+
+Like :mod:`repro.ompt.auto` and :mod:`repro.diagnostics.auto`, invoked
+by the ``@omp`` decorator when it binds a runtime; an unset knob costs
+one environment read.  ``OMP4PY_PROFILE`` accepts a true/false string
+(collect in memory, readable via ``runtime.sampler`` and the live
+``/profile`` route) or an output path: at interpreter exit the folded
+stacks are written there (speedscope JSON when the path ends in
+``.json``, collapsed text otherwise).  ``OMP4PY_PROFILE_HZ`` sets the
+sampling rate (default 200 Hz, i.e. one sample per 5 ms).
+
+When ``OMP4PY_METRICS``/``OMP4PY_METRICS_PORT`` armed a metrics
+registry for the same runtime, the sampler feeds it the
+``omp_sample_*`` series.
+"""
+
+from __future__ import annotations
+
+import atexit
+import sys
+
+from repro import env
+
+#: id(runtime) -> (runtime, Sampler) for every runtime this module
+#: armed (identity-keyed like the other auto modules).
+_active: dict[int, tuple] = {}
+
+
+def auto_sample(runtime) -> None:
+    """Honour ``OMP4PY_PROFILE`` for ``runtime`` (no-op when off)."""
+    spec = env.profile_spec()
+    if spec is None:
+        return
+    if id(runtime) in _active:
+        return
+    registry = None
+    from repro.ompt.auto import active_tool
+    tool = active_tool(runtime)
+    if tool is not None:
+        registry = tool.registry
+    from repro.sampling.sampler import Sampler
+    sampler = Sampler(runtime, interval=1.0 / env.profile_hz(),
+                      registry=registry)
+    sampler.start()
+    if spec != "1":
+        atexit.register(_write_samples, sampler, spec)
+    _active[id(runtime)] = (runtime, sampler)
+
+
+def active_sampler(runtime):
+    """The auto-armed Sampler for ``runtime``, if any."""
+    entry = _active.get(id(runtime))
+    return entry[1] if entry else None
+
+
+def deactivate(runtime) -> None:
+    """Undo :func:`auto_sample` for one runtime."""
+    entry = _active.pop(id(runtime), None)
+    if entry is None:
+        return
+    _runtime, sampler = entry
+    sampler.stop()
+
+
+def _write_samples(sampler, path: str) -> None:
+    sampler.stop()
+    from repro.sampling.exporters import (write_collapsed,
+                                          write_speedscope)
+    try:
+        if path.endswith(".json"):
+            write_speedscope(path, sampler.store,
+                             interval=sampler.interval,
+                             name=sampler.runtime.name)
+        else:
+            write_collapsed(path, sampler.store)
+    except OSError as error:  # pragma: no cover - exit-time best effort
+        print(f"omp4py: cannot write samples to {path}: {error}",
+              file=sys.stderr)

@@ -68,6 +68,40 @@ class TestMetricsServer:
         server.stop()
 
 
+class TestProfileRoute:
+    def test_disarmed_reports_so(self):
+        server = MetricsServer(pure_runtime, port=0).start()
+        try:
+            status, body = fetch(server.url + "/profile")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload == {"armed": False,
+                               "runtime": pure_runtime.name}
+        finally:
+            server.stop()
+
+    def test_armed_serves_report_and_collapsed(self):
+        from repro.sampling.exporters import validate_collapsed
+        from repro.sampling.sampler import Sampler
+        sampler = Sampler(pure_runtime, interval=0.005).start()
+        server = MetricsServer(pure_runtime, port=0).start()
+        try:
+            status, body = fetch(server.url + "/profile")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["armed"] is True
+            assert payload["runtime"] == pure_runtime.name
+            for key in ("directives", "top_stacks", "by_state"):
+                assert key in payload
+
+            status, body = fetch(server.url + "/profile?format=collapsed")
+            assert status == 200
+            assert validate_collapsed(body.decode()) == []
+        finally:
+            server.stop()
+            sampler.stop()
+
+
 class TestMetricsPortKnob:
     def test_unset_is_off(self, monkeypatch):
         monkeypatch.delenv("OMP4PY_METRICS_PORT", raising=False)

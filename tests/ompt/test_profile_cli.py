@@ -88,6 +88,76 @@ class TestCliMain:
         assert args.profile == "test"
 
 
+class TestSampleFlag:
+    def test_sample_writes_flamegraph_artifacts(self, tmp_path, capsys):
+        from repro.sampling.exporters import (validate_collapsed,
+                                              validate_speedscope)
+        assert main(["qsort", "--mode", "pure", "--threads", "2",
+                     "--profile", "test", "--repeats", "3",
+                     "--sample", "--sample-hz", "400",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[profile] samples:" in out
+        assert "at 400 Hz" in out
+        collapsed = (tmp_path / "qsort_pure_samples.collapsed")
+        assert validate_collapsed(collapsed.read_text()) == []
+        speedscope = json.loads(
+            (tmp_path / "qsort_pure_samples.speedscope.json").read_text())
+        assert validate_speedscope(speedscope) == []
+        # The sampler is stopped and detached again afterwards.
+        assert pure_runtime.sampler is None
+
+    def test_sample_hz_alone_arms_the_sampler(self, tmp_path, capsys):
+        assert main(["pi", "--mode", "pure", "--threads", "2",
+                     "--profile", "test", "--sample-hz", "100",
+                     "--out", str(tmp_path)]) == 0
+        assert "at 100 Hz" in capsys.readouterr().out
+        assert (tmp_path / "pi_pure_samples.collapsed").exists()
+
+
+class TestMergeFlag:
+    @staticmethod
+    def rank_trace(tmp_path, rank, epoch):
+        payload = {
+            "traceEvents": [
+                {"name": "work", "ph": "i", "s": "t", "ts": 5.0,
+                 "pid": 1, "tid": 0, "args": {}},
+            ],
+            "displayTimeUnit": "ms",
+            "otherData": {"rank": rank, "dropped_events": 0,
+                          "epoch_start_unix_s": epoch},
+        }
+        path = tmp_path / f"trace.rank{rank}.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_merge_writes_one_timeline(self, tmp_path, capsys):
+        first = self.rank_trace(tmp_path, 0, 50.0)
+        second = self.rank_trace(tmp_path, 1, 50.25)
+        out_dir = tmp_path / "merged"
+        assert main(["--merge", str(first), str(second),
+                     "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 rank trace(s)" in out
+        merged = json.loads(
+            (out_dir / "trace.merged.json").read_text())
+        assert validate_chrome_trace(merged) == []
+        assert merged["otherData"]["ranks"] == 2
+        instants = {row["pid"]: row["ts"]
+                    for row in merged["traceEvents"]
+                    if row["ph"] == "i"}
+        assert instants[0] == 5.0
+        assert instants[1] == pytest.approx(5.0 + 0.25e6)
+
+    def test_merge_to_explicit_json_path(self, tmp_path, capsys):
+        first = self.rank_trace(tmp_path, 0, 50.0)
+        target = tmp_path / "deep" / "combined.json"
+        assert main(["--merge", str(first),
+                     "--out", str(target)]) == 0
+        capsys.readouterr()
+        assert json.loads(target.read_text())["otherData"]["ranks"] == 1
+
+
 class TestEnvKnobs:
     def test_module_entrypoint_and_env_artifacts(self, tmp_path):
         """OMP4PY_TRACE / OMP4PY_METRICS write artifacts at exit."""

@@ -1,0 +1,169 @@
+"""Tests of the cross-run perf ledger (benchmarks/perf_history.py)."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+import perf_history  # noqa: E402
+
+
+def smoke_payload(walls, backend="gil", total=None):
+    return {
+        "schema": "omp4py-bench-smoke/1",
+        "backend": backend,
+        "python": "3.11.7",
+        "total_wall_s": total if total is not None else sum(walls.values()),
+        "kernels": [{"kernel": name, "wall_s": wall}
+                    for name, wall in walls.items()],
+    }
+
+
+class TestEntries:
+    def test_entry_from_smoke_shape(self):
+        entry = perf_history.entry_from_smoke(
+            smoke_payload({"pi": 1.0, "qsort": 2.0}),
+            sha="abc123", time_unix=42.0)
+        assert entry["schema"] == perf_history.SCHEMA
+        assert entry["sha"] == "abc123"
+        assert entry["time_unix"] == 42.0
+        assert entry["backend"] == "gil"
+        assert entry["kernels"] == {"pi": 1.0, "qsort": 2.0}
+        assert entry["total_wall_s"] == 3.0
+
+    def test_unmeasured_kernels_are_dropped(self):
+        payload = smoke_payload({"pi": 1.0}, total=1.0)
+        payload["kernels"].append({"kernel": "skipped", "wall_s": None})
+        entry = perf_history.entry_from_smoke(payload, sha="x",
+                                              time_unix=0.0)
+        assert entry["kernels"] == {"pi": 1.0}
+
+    def test_resolve_sha_prefers_ci_env(self, monkeypatch):
+        monkeypatch.setenv("GITHUB_SHA", "deadbeef")
+        assert perf_history.resolve_sha() == "deadbeef"
+
+
+class TestLedgerIO:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "nested" / "BENCH_history.jsonl"
+        first = perf_history.entry_from_smoke(
+            smoke_payload({"pi": 1.0}), sha="a", time_unix=1.0)
+        second = perf_history.entry_from_smoke(
+            smoke_payload({"pi": 0.9}), sha="b", time_unix=2.0)
+        perf_history.append_entry(path, first)
+        perf_history.append_entry(path, second)
+        history = perf_history.load_history(path)
+        assert [entry["sha"] for entry in history] == ["a", "b"]
+
+    def test_corrupt_and_foreign_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        good = perf_history.entry_from_smoke(
+            smoke_payload({"pi": 1.0}), sha="a", time_unix=1.0)
+        path.write_text(
+            "not json{\n"
+            + json.dumps({"schema": "something-else/9"}) + "\n"
+            + "\n"
+            + json.dumps(good) + "\n",
+            encoding="utf-8")
+        history = perf_history.load_history(path)
+        assert len(history) == 1
+        assert history[0]["sha"] == "a"
+
+    def test_missing_ledger_loads_empty(self, tmp_path):
+        assert perf_history.load_history(tmp_path / "nope.jsonl") == []
+
+    def test_record_smoke_seeds_from_committed_ledger(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("GITHUB_SHA", "feedface")
+        seed = tmp_path / "seed.jsonl"
+        perf_history.append_entry(seed, perf_history.entry_from_smoke(
+            smoke_payload({"pi": 1.0}), sha="seed", time_unix=0.0))
+        smoke = tmp_path / "BENCH_smoke.json"
+        smoke.write_text(json.dumps(smoke_payload({"pi": 0.8})),
+                         encoding="utf-8")
+        history_path = tmp_path / "out" / "BENCH_history.jsonl"
+        entry = perf_history.record_smoke(smoke, history_path,
+                                          seed_path=seed)
+        assert entry["sha"] == "feedface"
+        history = perf_history.load_history(history_path)
+        assert [e["sha"] for e in history] == ["seed", "feedface"]
+        # A second record appends without re-seeding.
+        perf_history.record_smoke(smoke, history_path, seed_path=seed)
+        assert len(perf_history.load_history(history_path)) == 3
+
+
+class TestTrend:
+    def entries(self):
+        return [
+            perf_history.entry_from_smoke(
+                smoke_payload({"pi": 1.0, "qsort": 2.0}),
+                sha="one", time_unix=1.0),
+            perf_history.entry_from_smoke(
+                smoke_payload({"pi": 0.8, "qsort": 2.0}),
+                sha="two", time_unix=2.0),
+            perf_history.entry_from_smoke(
+                smoke_payload({"pi": 1.2, "qsort": 2.0}),
+                sha="three", time_unix=3.0),
+        ]
+
+    def test_best_prev_last_and_regression_flag(self):
+        text = perf_history.format_trend(self.entries())
+        assert "3 run(s) on backend `gil`" in text
+        # pi: best 0.800, prev 0.800, last 1.200 — a +50% regression.
+        assert "| pi | 0.800 | 0.800 | 1.200 | +50.0% 🔺 |" in text
+        assert "| qsort | 2.000 | 2.000 | 2.000 | +0.0% ~ |" in text
+        assert "**Total**" in text
+
+    def test_backend_filter_and_mismatch(self):
+        mixed = self.entries() + [perf_history.entry_from_smoke(
+            smoke_payload({"pi": 0.5}, backend="nogil"),
+            sha="ft", time_unix=4.0)]
+        # Default: latest entry's backend (nogil) — only one run.
+        text = perf_history.format_trend(mixed)
+        assert "1 run(s) on backend `nogil`" in text
+        assert "_new_" in text
+        text = perf_history.format_trend(mixed, backend="gil")
+        assert "3 run(s) on backend `gil`" in text
+        text = perf_history.format_trend(mixed, backend="tpc")
+        assert "No entries for backend" in text
+
+    def test_empty_ledger(self):
+        assert "Empty ledger" in perf_history.format_trend([])
+
+
+class TestCli:
+    def test_record_then_trend(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("GITHUB_SHA", "cafebabe0000")
+        smoke = tmp_path / "BENCH_smoke.json"
+        smoke.write_text(json.dumps(smoke_payload({"pi": 1.0})),
+                         encoding="utf-8")
+        history = tmp_path / "BENCH_history.jsonl"
+        assert perf_history.main(["record", "--smoke", str(smoke),
+                                  "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "[perf-history] recorded cafebabe0000" in out
+        assert perf_history.main(["trend", "--history",
+                                  str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "Perf ledger" in out
+        assert "| pi |" in out
+
+
+class TestCommittedSeed:
+    def test_repo_ledger_parses(self):
+        """The committed seed ledger must stay loadable."""
+        path = ROOT / "results" / "BENCH_history.jsonl"
+        history = perf_history.load_history(path)
+        assert history, "committed results/BENCH_history.jsonl is empty"
+        assert history[0]["sha"] == "seed"
+        assert history[0]["kernels"]
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_sha(monkeypatch):
+    """Keep resolve_sha() deterministic unless a test sets GITHUB_SHA."""
+    monkeypatch.delenv("GITHUB_SHA", raising=False)
