@@ -229,6 +229,13 @@ def run_smoke(out_dir: pathlib.Path) -> None:
         records.extend(plan_records)
     except Exception as error:  # noqa: BLE001 - smoke verdict
         failures.append(f"plan: {type(error).__name__}: {error}")
+    try:
+        import bench_serving
+        serve_failures, serve_records = bench_serving.smoke_records()
+        failures.extend(serve_failures)
+        records.extend(serve_records)
+    except Exception as error:  # noqa: BLE001 - smoke verdict
+        failures.append(f"serving: {type(error).__name__}: {error}")
     write_bench_json(out_dir, records)
     try:
         # Ledger ride-along: append this run to BENCH_history.jsonl
@@ -254,8 +261,9 @@ def run_smoke(out_dir: pathlib.Path) -> None:
         raise SystemExit(1)
     print(f"[reproduce] smoke OK: {len(plan)} figure harnesses, the task "
           f"microbenchmark, the region-overhead gate, the "
-          f"projection-validation gate, and the inspector–executor "
-          f"plan gate completed (outputs in {out_dir}/)")
+          f"projection-validation gate, the inspector–executor "
+          f"plan gate, and the serving bench completed "
+          f"(outputs in {out_dir}/)")
 
 
 def main() -> None:

@@ -14,6 +14,11 @@ Three subcommands (see docs/observability.md, "Diagnosing hangs"):
   JSON.
 * ``dump PID`` — ask an armed process to print its flight-recorder
   tails and current wait-for diagnosis to stderr (sends SIGUSR1).
+* ``serve [URL]`` — fetch a serving layer's ``/state`` endpoint
+  (:mod:`repro.serve`) and pretty-print the fleet: per-worker backend
+  and hot-team pool, queue depth, tenant budgets, and — because every
+  worker runs with the watchdog armed — the structured doctor report
+  of any worker that was killed over a hung kernel.
 """
 
 from __future__ import annotations
@@ -96,6 +101,76 @@ def _cmd_dump(args) -> int:
     return 0
 
 
+def _format_serve_state(state: dict) -> str:
+    lines = []
+    queue = state.get("queue", {})
+    stats = state.get("stats", {})
+    lines.append(f"serving state ({state.get('schema')})")
+    lines.append(
+        f"  queue: {queue.get('depth')}/{queue.get('capacity')} waiting, "
+        f"mean service {queue.get('mean_service_s')}s")
+    lines.append(
+        f"  stats: accepted={stats.get('accepted')} "
+        f"completed={stats.get('completed')} failed={stats.get('failed')} "
+        f"shed={stats.get('shed')} retries={stats.get('retries')} "
+        f"p99={stats.get('p99_s')}s")
+    shm = state.get("shm", {})
+    lines.append(f"  shm: {shm.get('segments')} segments, "
+                 f"{shm.get('bytes')} bytes")
+    lines.append("  tenants:")
+    for tenant in state.get("tenants", []):
+        lines.append(
+            f"    {tenant['name']}: budget={tenant['max_threads']} "
+            f"inflight={tenant['inflight_threads']} "
+            f"throttles={tenant['throttles']} "
+            f"places={tenant['places'] or '(unbound)'}")
+    lines.append(f"  workers (restarts_total="
+                 f"{state.get('restarts_total')}):")
+    for worker in state.get("workers", []):
+        pool = worker.get("pool") or {}
+        job = worker.get("job")
+        busy = (f" running {job['app']} x{job['batch']} "
+                f"for {job['running_s']}s" if job else "")
+        lines.append(
+            f"    #{worker['id']} pid={worker['pid']} "
+            f"{worker['state']}{busy} backend={worker.get('backend')} "
+            f"pool[workers={pool.get('workers')} "
+            f"idle={pool.get('idle')} reused={pool.get('reused')}] "
+            f"restarts={worker['restarts']} "
+            f"last_app={worker.get('last_app')}")
+        report = worker.get("last_report")
+        if report:
+            lines.append(
+                f"      last doctor report: verdict="
+                f"{report.get('verdict')} "
+                f"({len(report.get('blocked', []))} blocked threads)")
+            for cycle in report.get("cycles", [])[:1]:
+                for step in cycle:
+                    describe = step.get("describe", "")
+                    lines.append(f"        {describe}")
+    return "\n".join(lines)
+
+
+def _cmd_serve(args) -> int:
+    import urllib.error
+    import urllib.request
+    url = args.url.rstrip("/")
+    if "://" not in url:
+        url = "http://" + url
+    try:
+        with urllib.request.urlopen(url + "/state",
+                                    timeout=args.timeout) as handle:
+            state = json.loads(handle.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        print(f"cannot fetch {url}/state: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(state, indent=2))
+    else:
+        print(_format_serve_state(state))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.doctor",
@@ -138,6 +213,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="SIGUSR1 an armed process to make it dump")
     dump.add_argument("pid", type=int, help="target process id")
     dump.set_defaults(func=_cmd_dump)
+
+    serve = sub.add_parser(
+        "serve", help="inspect a running repro.serve fleet")
+    serve.add_argument("url", nargs="?",
+                       default="http://127.0.0.1:8571",
+                       help="server base URL (default "
+                            "http://127.0.0.1:8571)")
+    serve.add_argument("--json", action="store_true",
+                       help="dump the raw /state payload")
+    serve.add_argument("--timeout", type=float, default=5.0,
+                       help="HTTP timeout in seconds")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

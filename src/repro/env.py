@@ -34,7 +34,10 @@ Two families of variables are honoured, mirroring the paper:
   (seconds a parked pool worker waits for work before trimming itself),
   and ``OMP4PY_BACKEND`` (``auto``/``gil``/``nogil`` — the execution
   backend selecting projected vs measured wall-time accounting; see
-  :mod:`repro.runtime.gilstate` and docs/projection.md).
+  :mod:`repro.runtime.gilstate` and docs/projection.md), and the
+  serving knobs ``OMP4PY_SERVE_PORT``, ``OMP4PY_SERVE_WORKERS`` and
+  ``OMP4PY_SERVE_QUEUE`` — defaults for ``python -m repro.serve``
+  (see :mod:`repro.serve` and docs/serving.md).
 """
 
 from __future__ import annotations
@@ -422,6 +425,61 @@ def watchdog_spec() -> WatchdogSpec | None:
                        f"got {interval}")
     return WatchdogSpec(interval=interval, path=tail or None,
                         exit_on_deadlock=exit_on_deadlock)
+
+
+#: Default TCP port for ``python -m repro.serve``.
+DEFAULT_SERVE_PORT = 8571
+
+
+def serve_port() -> int:
+    """``OMP4PY_SERVE_PORT``: default port for the serving front door.
+
+    ``0`` binds an ephemeral port (announced on stdout by the CLI).
+    """
+    raw = os.environ.get("OMP4PY_SERVE_PORT")
+    if raw is None or not raw.strip():
+        return DEFAULT_SERVE_PORT
+    try:
+        port = int(raw.strip())
+    except ValueError:
+        raise OmpError(f"OMP4PY_SERVE_PORT must be a TCP port number, "
+                       f"got {raw!r}") from None
+    if not 0 <= port <= 65535:
+        raise OmpError(f"OMP4PY_SERVE_PORT must be in [0, 65535], "
+                       f"got {port}")
+    return port
+
+
+def serve_workers() -> int:
+    """``OMP4PY_SERVE_WORKERS``: default worker-process count.
+
+    Defaults to ``min(4, cpu count)`` — one warm runtime per worker is
+    the unit of serving parallelism.
+    """
+    raw = os.environ.get("OMP4PY_SERVE_WORKERS")
+    if raw is None or not raw.strip():
+        return max(1, min(4, available_cpus()))
+    return _parse_positive_int("OMP4PY_SERVE_WORKERS", raw.strip())
+
+
+def serve_queue() -> int:
+    """``OMP4PY_SERVE_QUEUE``: default admission-queue capacity.
+
+    ``0`` is valid and means hand-off only: accept a request only when
+    an idle worker can take it immediately, shed everything else.
+    """
+    raw = os.environ.get("OMP4PY_SERVE_QUEUE")
+    if raw is None or not raw.strip():
+        return 16
+    try:
+        capacity = int(raw.strip())
+    except ValueError:
+        raise OmpError(f"OMP4PY_SERVE_QUEUE must be an integer, "
+                       f"got {raw!r}") from None
+    if capacity < 0:
+        raise OmpError(f"OMP4PY_SERVE_QUEUE must be >= 0, "
+                       f"got {capacity}")
+    return capacity
 
 
 def decorator_default(name: str, fallback):

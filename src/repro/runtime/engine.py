@@ -82,6 +82,9 @@ class OmpRuntime:
         self.backend = current_backend()
         from repro.affinity import binder_from_env
         self._binder = binder_from_env()
+        #: Raw spec behind the current binder (``set_affinity`` uses it
+        #: to skip rebuilds when a serving job repeats its partition).
+        self._affinity_spec: tuple | None = None
         self._pool = None
         self._pool_lock = threading.Lock()
         self._criticals: dict[str, object] = {}
@@ -935,6 +938,25 @@ class OmpRuntime:
         """Effective ``bind-var`` (normalized: ``false``/``primary``/
         ``close``/``spread``)."""
         return self._binder.proc_bind
+
+    def set_affinity(self, places_spec: str | None,
+                     proc_bind: str = "close") -> None:
+        """Rebuild the affinity binder from an explicit places spec.
+
+        The programmatic counterpart of ``OMP_PLACES``/
+        ``OMP_PROC_BIND`` for callers that re-partition at run time —
+        the serving layer binds each worker process to its tenant's
+        CPU partition per job (:mod:`repro.serve`).  ``None`` restores
+        the unbound default.  Idempotent per spec, so repeating a
+        job's partition costs one tuple compare.
+        """
+        spec = (places_spec, proc_bind)
+        if spec == self._affinity_spec:
+            return
+        from repro.affinity import Binder, parse_places
+        places = parse_places(places_spec) if places_spec else ()
+        self._binder = Binder(places, proc_bind if places else "false")
+        self._affinity_spec = spec
 
     def get_wait_policy(self) -> str:
         """Effective ``wait-policy-var`` (``active`` or ``passive``)."""

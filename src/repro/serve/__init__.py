@@ -1,0 +1,30 @@
+"""Shared-memory kernel-serving layer: ``python -m repro.serve``.
+
+The serving subsystem turns the repository's parallel kernels into a
+long-running multi-tenant service:
+
+* an HTTP/JSON front door (:mod:`repro.serve.server`) accepting
+  requests against the shipped apps plus the fig8 hybrid
+  ``jacobi_mpi`` multi-node tenant;
+* a shared-memory data plane (:mod:`repro.serve.shm`) — request
+  arrays live in ``multiprocessing.shared_memory`` segments and only
+  tiny handles cross process boundaries;
+* batching and sharding across pooled worker processes
+  (:mod:`repro.serve.fleet`, :mod:`repro.serve.worker`), each holding
+  a warm hot-team runtime with the stall watchdog armed;
+* admission control with load shedding (:mod:`repro.serve.admission`)
+  and per-tenant thread budgets mapped onto ``OMP_PLACES`` partitions
+  (:mod:`repro.serve.tenants`).
+
+See docs/serving.md for the architecture and the wire protocol.
+"""
+
+from repro.serve.admission import AdmissionQueue, QueueFull
+from repro.serve.protocol import ServeRequest, result_digest
+from repro.serve.server import ServeServer
+from repro.serve.shm import ArrayHandle, ShmRegistry, leaked_segments
+from repro.serve.tenants import DuplicateTenantError, TenantDirectory
+
+__all__ = ["AdmissionQueue", "ArrayHandle", "DuplicateTenantError",
+           "QueueFull", "ServeRequest", "ServeServer", "ShmRegistry",
+           "TenantDirectory", "leaked_segments", "result_digest"]

@@ -1,0 +1,7 @@
+"""``python -m repro.serve`` — see :mod:`repro.serve.cli`."""
+
+import sys
+
+from repro.serve.cli import main
+
+sys.exit(main())

@@ -1,0 +1,107 @@
+"""Admission control: the bounded queue with load-shedding semantics.
+
+One rule decides admission: a request is admitted when the queue holds
+fewer than ``capacity`` waiting requests, *or* the queue is empty and
+an idle worker can take it immediately.  The second clause gives
+``capacity=0`` a useful meaning — a pure hand-off server that accepts
+work only when it can start right away and sheds everything else —
+which is also the satellite edge case the unit tests pin down.
+
+A shed request is never silently dropped: :class:`QueueFull` carries a
+``retry_after`` hint (current depth times the observed mean service
+time) that the front door turns into a 503 with a ``Retry-After``
+header.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.protocol import ServeRequest
+
+
+class QueueFull(Exception):
+    """Raised at admission when the bounded queue would overflow."""
+
+    def __init__(self, depth: int, capacity: int, retry_after: float):
+        super().__init__(
+            f"serving queue full ({depth}/{capacity} waiting)")
+        self.depth = depth
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+
+class AdmissionQueue:
+    """FIFO of admitted-but-undispatched requests, bounded.
+
+    The dispatcher removes batches with :meth:`next_batch`; crash
+    recovery puts retried requests back at the *front* with
+    :meth:`requeue_front` so a victim of a worker crash never loses
+    its queue position.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("queue capacity must be >= 0")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._waiting: list[ServeRequest] = []
+        #: Mean service seconds, updated by the server; feeds the
+        #: Retry-After hint.
+        self.mean_service_s = 0.1
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._waiting)
+
+    def offer(self, request: ServeRequest, *, idle_workers: int) -> None:
+        """Admit or raise :class:`QueueFull` (shed)."""
+        with self._lock:
+            depth = len(self._waiting)
+            if depth < self.capacity or (depth == 0 and idle_workers > 0):
+                self._waiting.append(request)
+                return
+            retry_after = round(
+                max(0.05, (depth + 1) * self.mean_service_s), 2)
+        raise QueueFull(depth, self.capacity, retry_after)
+
+    def requeue_front(self, requests: list[ServeRequest]) -> None:
+        with self._lock:
+            self._waiting[:0] = requests
+
+    def next_batch(self, *, max_batch: int,
+                   can_dispatch) -> list[ServeRequest]:
+        """Remove and return the next dispatchable batch (maybe empty).
+
+        Scans in FIFO order for the first request ``can_dispatch``
+        accepts (tenant budget check), then coalesces every queued
+        request sharing its ``group_key``, up to ``max_batch``.  An
+        oversized burst therefore *splits*: the first ``max_batch``
+        requests leave as one job and the remainder stays queued for
+        the next worker — the batching half of "batches and shards".
+        """
+        with self._lock:
+            head = None
+            for request in self._waiting:
+                if can_dispatch(request):
+                    head = request
+                    break
+            if head is None:
+                return []
+            batch = [head]
+            for request in self._waiting:
+                if len(batch) >= max_batch:
+                    break
+                if request is head:
+                    continue
+                if request.group_key == head.group_key:
+                    batch.append(request)
+            chosen = set(id(r) for r in batch)
+            self._waiting = [r for r in self._waiting
+                             if id(r) not in chosen]
+            return batch
+
+    def drain(self) -> list[ServeRequest]:
+        with self._lock:
+            waiting, self._waiting = self._waiting, []
+            return waiting

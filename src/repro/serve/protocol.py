@@ -1,0 +1,191 @@
+"""Request/response model and the result-digest verification scheme.
+
+The HTTP front door speaks JSON; the dispatcher speaks small dict
+messages over each worker's control pipe.  Arrays never ride either —
+they live in shared memory (:mod:`repro.serve.shm`) and only
+:class:`~repro.serve.shm.ArrayHandle` descriptors travel.
+
+Every request's result is verified at serving level: at input
+registration the server digests the app's sequential reference, the
+worker digests what the kernel produced, and the two must agree within
+a float-reduction tolerance.  A digest is a tiny structural summary —
+element count, value sum, absolute sum, and a hash of any non-numeric
+atoms — cheap enough to compute per request yet strong enough to catch
+a wrong result, a misattached segment, or a partial batch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import threading
+import time
+
+import numpy as np
+
+from repro.errors import OmpError
+
+#: Schema tag on ``/state`` payloads and the job wire format.
+STATE_SCHEMA = "omp4py-serve-state/1"
+
+#: Relative/absolute tolerance for digest sums: parallel reductions
+#: reassociate float adds, so sums differ in the last few digits.
+DIGEST_RTOL = 1e-3
+DIGEST_ATOL = 1e-2
+
+_REQUEST_IDS = itertools.count(1)
+
+
+def _accumulate(value, sums: list, meta: "hashlib._Hash") -> None:
+    if value is None or isinstance(value, bool):
+        meta.update(repr(value).encode())
+        return
+    if isinstance(value, (int, float, complex, np.number)):
+        value = complex(value)
+        sums[0] += 1
+        sums[1] += value.real + value.imag
+        sums[2] += abs(value.real) + abs(value.imag)
+        return
+    if isinstance(value, np.ndarray):
+        if value.dtype.kind in "fiu":
+            sums[0] += value.size
+            sums[1] += float(value.sum())
+            sums[2] += float(np.abs(value).sum())
+        elif value.dtype.kind == "c":
+            sums[0] += value.size
+            sums[1] += float(value.real.sum() + value.imag.sum())
+            sums[2] += float(np.abs(value.real).sum()
+                             + np.abs(value.imag).sum())
+        else:
+            meta.update(repr(value.tolist()).encode())
+        return
+    if isinstance(value, str):
+        meta.update(value.encode())
+        return
+    if isinstance(value, dict):
+        for key in sorted(value, key=str):
+            meta.update(str(key).encode())
+            _accumulate(value[key], sums, meta)
+        return
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            _accumulate(item, sums, meta)
+        return
+    meta.update(repr(value).encode())
+
+
+def result_digest(result) -> dict:
+    """Structural summary of one kernel result (see module docstring)."""
+    sums = [0, 0.0, 0.0]
+    meta = hashlib.sha1()
+    _accumulate(result, sums, meta)
+    return {"n": int(sums[0]),
+            "sum": float(sums[1]),
+            "abs": float(sums[2]),
+            "meta": meta.hexdigest()[:12]}
+
+
+def digests_match(expected: dict, actual: dict,
+                  rtol: float = DIGEST_RTOL,
+                  atol: float = DIGEST_ATOL) -> bool:
+    if expected is None or actual is None:
+        return False
+    if expected.get("n") != actual.get("n"):
+        return False
+    if expected.get("meta") != actual.get("meta"):
+        return False
+    for key in ("sum", "abs"):
+        a, b = expected.get(key, 0.0), actual.get(key, 0.0)
+        if not np.isclose(a, b, rtol=rtol, atol=atol):
+            return False
+    return True
+
+
+def overrides_key(overrides: dict) -> tuple:
+    """Hashable cache key for a request's input overrides."""
+    return tuple(sorted((str(k), repr(v))
+                        for k, v in (overrides or {}).items()))
+
+
+@dataclasses.dataclass
+class ServeRequest:
+    """One admitted request, from front door to response.
+
+    ``group_key`` is what the batcher coalesces on: requests sharing
+    app, mode, profile, thread count, overrides, and tenant run
+    against the same input set and can share one job dispatch.
+    """
+
+    app: str
+    tenant: str
+    mode: str = "pure"
+    profile: str = "test"
+    threads: int = 1
+    nodes: int = 1
+    overrides: dict = dataclasses.field(default_factory=dict)
+    return_values: bool = False
+    id: int = dataclasses.field(
+        default_factory=lambda: next(_REQUEST_IDS))
+    created: float = dataclasses.field(default_factory=time.monotonic)
+    attempts: int = 0
+    throttled: bool = False
+    done: threading.Event = dataclasses.field(
+        default_factory=threading.Event)
+    response: dict | None = None
+
+    @property
+    def group_key(self) -> tuple:
+        return (self.app, self.mode, self.profile, self.threads,
+                self.nodes, overrides_key(self.overrides), self.tenant)
+
+    @property
+    def input_key(self) -> tuple:
+        return (self.app, self.profile, overrides_key(self.overrides))
+
+    def complete(self, response: dict) -> None:
+        self.response = response
+        self.done.set()
+
+
+def parse_request(doc: dict, *, known_apps, default_tenant: str,
+                  max_threads: int) -> ServeRequest:
+    """Validate one front-door JSON body into a :class:`ServeRequest`.
+
+    Raises :class:`~repro.errors.OmpError` with a client-facing
+    message on anything malformed (the server maps it to a 400).
+    """
+    if not isinstance(doc, dict):
+        raise OmpError("request body must be a JSON object")
+    app = doc.get("app")
+    if not isinstance(app, str) or app not in known_apps:
+        raise OmpError(
+            f"unknown app {app!r}; available: {', '.join(known_apps)}")
+    threads = doc.get("threads", 1)
+    if not isinstance(threads, int) or threads < 1:
+        raise OmpError("threads must be a positive integer")
+    if threads > max_threads:
+        raise OmpError(f"threads={threads} exceeds the server cap "
+                       f"{max_threads}")
+    nodes = doc.get("nodes", 1)
+    if not isinstance(nodes, int) or nodes < 1:
+        raise OmpError("nodes must be a positive integer")
+    mode = doc.get("mode", "pure")
+    if mode not in ("pure", "hybrid"):
+        raise OmpError(f"mode must be 'pure' or 'hybrid', got {mode!r}")
+    profile = doc.get("profile", "test")
+    if not isinstance(profile, str):
+        raise OmpError("profile must be a string")
+    overrides = doc.get("overrides", {})
+    if not isinstance(overrides, dict):
+        raise OmpError("overrides must be an object")
+    for key, value in overrides.items():
+        if not isinstance(value, (int, float, str, bool)):
+            raise OmpError(f"override {key!r} must be a scalar")
+    tenant = doc.get("tenant", default_tenant)
+    if not isinstance(tenant, str) or not tenant:
+        raise OmpError("tenant must be a non-empty string")
+    return ServeRequest(app=app, tenant=tenant, mode=mode,
+                        profile=profile, threads=threads, nodes=nodes,
+                        overrides=overrides,
+                        return_values=bool(doc.get("return_values")))

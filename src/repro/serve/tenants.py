@@ -1,0 +1,186 @@
+"""Per-tenant thread budgets mapped onto ``OMP_PLACES`` partitions.
+
+A tenant is a named principal with a thread budget: the maximum number
+of kernel threads its requests may hold concurrently across the fleet.
+Budgets do double duty:
+
+* **admission/dispatch** — the :class:`ThreadLedger` charges each
+  dispatched job its thread count and the dispatcher defers requests
+  that would overdraw their tenant (they stay queued, a throttle is
+  counted, nothing is dropped);
+* **affinity** — :func:`partition_places` carves the machine's CPUs
+  into per-tenant partitions (weighted by budget, via the existing
+  :mod:`repro.affinity` layer) and jobs carry their tenant's partition
+  as an explicit places list that the worker applies with
+  ``OmpRuntime.set_affinity`` before running the kernel — the OpenMP
+  ``OMP_PLACES``/``OMP_PROC_BIND`` machinery, scoped per tenant.
+
+On hosts with fewer CPUs than tenants the partitioner degrades the
+same way the binder does: tenants share the full place list and only
+the budget ledger separates them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+from repro.affinity import available_cpus, format_places
+from repro.errors import OmpError
+
+
+class DuplicateTenantError(OmpError):
+    """A tenant name was registered twice (HTTP 409 at the front door)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Tenant:
+    """One registered tenant: budget plus its CPU partition."""
+
+    name: str
+    max_threads: int
+    places: tuple[tuple[int, ...], ...] = ()
+    proc_bind: str = "close"
+
+    @property
+    def places_spec(self) -> str | None:
+        return format_places(self.places) if self.places else None
+
+
+def partition_places(budgets: dict[str, int],
+                     cpus: tuple[int, ...] | None = None,
+                     ) -> dict[str, tuple[tuple[int, ...], ...]]:
+    """Carve ``cpus`` into contiguous per-tenant partitions.
+
+    Shares are proportional to each tenant's thread budget with a
+    one-CPU floor; each partition becomes a list of single-CPU places
+    (so a team of *k* threads binds to *k* distinct CPUs under
+    ``close``).  With fewer CPUs than tenants everyone gets the full
+    list.
+    """
+    if cpus is None:
+        cpus = available_cpus()
+    names = sorted(budgets)
+    if not names:
+        return {}
+    everything = tuple((cpu,) for cpu in cpus)
+    if len(cpus) < len(names):
+        return {name: everything for name in names}
+    total_budget = sum(max(1, budgets[name]) for name in names)
+    partitions: dict[str, tuple[tuple[int, ...], ...]] = {}
+    cursor = 0
+    remaining = len(cpus)
+    for index, name in enumerate(names):
+        left = len(names) - index
+        weight = max(1, budgets[name])
+        share = max(1, round(remaining * weight / max(1, total_budget)))
+        share = min(share, remaining - (left - 1))
+        partitions[name] = tuple(
+            (cpu,) for cpu in cpus[cursor:cursor + share])
+        cursor += share
+        remaining -= share
+        total_budget -= weight
+    return partitions
+
+
+class TenantDirectory:
+    """Registered tenants plus the in-flight thread ledger.
+
+    Registration recomputes every tenant's partition (budgets weight
+    the split), so adding a tenant re-shards the machine — the elastic
+    half of "per-tenant thread budgets mapped onto places".
+    """
+
+    def __init__(self, cpus: tuple[int, ...] | None = None):
+        self._lock = threading.Lock()
+        self._cpus = tuple(cpus) if cpus is not None else available_cpus()
+        self._tenants: dict[str, Tenant] = {}
+        self._inflight: dict[str, int] = {}
+        self.throttles: dict[str, int] = {}
+
+    def register(self, name: str, max_threads: int) -> Tenant:
+        if not name:
+            raise OmpError("tenant name must be non-empty")
+        if max_threads < 1:
+            raise OmpError(f"tenant {name!r} budget must be >= 1 "
+                           f"thread, got {max_threads}")
+        with self._lock:
+            if name in self._tenants:
+                raise DuplicateTenantError(
+                    f"tenant {name!r} is already registered")
+            self._tenants[name] = Tenant(name, max_threads)
+            self._inflight.setdefault(name, 0)
+            self.throttles.setdefault(name, 0)
+            self._repartition()
+            return self._tenants[name]
+
+    def _repartition(self) -> None:
+        budgets = {name: tenant.max_threads
+                   for name, tenant in self._tenants.items()}
+        partitions = partition_places(budgets, self._cpus)
+        for name, places in partitions.items():
+            old = self._tenants[name]
+            self._tenants[name] = dataclasses.replace(old, places=places)
+
+    def get(self, name: str) -> Tenant | None:
+        with self._lock:
+            return self._tenants.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def clamp_threads(self, name: str, threads: int) -> int:
+        """Admission-time clamp: a request never exceeds its budget."""
+        tenant = self.get(name)
+        if tenant is None:
+            raise OmpError(f"unknown tenant {name!r}")
+        return max(1, min(threads, tenant.max_threads))
+
+    # -- ledger ---------------------------------------------------------
+
+    def can_acquire(self, name: str, threads: int) -> bool:
+        """Pure budget check (the single dispatcher thread charges
+        with :meth:`try_acquire` after batch assembly)."""
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is None:
+                return False
+            return self._inflight[name] + threads <= tenant.max_threads
+
+    def try_acquire(self, name: str, threads: int) -> bool:
+        """Charge ``threads`` against the tenant, or defer.
+
+        Returns ``False`` (and counts a throttle) when the charge
+        would overdraw the budget; the caller leaves the request
+        queued.
+        """
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is None:
+                return False
+            if self._inflight[name] + threads > tenant.max_threads:
+                self.throttles[name] += 1
+                return False
+            self._inflight[name] += threads
+            return True
+
+    def release(self, name: str, threads: int) -> None:
+        with self._lock:
+            if name in self._inflight:
+                self._inflight[name] = max(
+                    0, self._inflight[name] - threads)
+
+    def inflight(self, name: str) -> int:
+        with self._lock:
+            return self._inflight.get(name, 0)
+
+    def snapshot(self) -> list[dict]:
+        with self._lock:
+            return [{"name": tenant.name,
+                     "max_threads": tenant.max_threads,
+                     "places": tenant.places_spec,
+                     "proc_bind": tenant.proc_bind,
+                     "inflight_threads": self._inflight.get(name, 0),
+                     "throttles": self.throttles.get(name, 0)}
+                    for name, tenant in sorted(self._tenants.items())]

@@ -1,0 +1,220 @@
+"""Worker-process entry point: the fleet's kernel execution engine.
+
+Each worker is a spawned process holding one warm OMP4Py runtime.  At
+startup it attaches its response slab, arms the stall watchdog on both
+runtimes (a hung kernel writes a structured ``omp4py-doctor-report/1``
+to the worker's report file instead of stalling silently — the
+supervisor collects it after the kill), transforms and warm-runs the
+apps it will serve so the hot-team pool is populated *before* the
+first request, and only then reports ready.
+
+Per job it: applies the tenant's CPU partition through
+``OmpRuntime.set_affinity``, materializes inputs — shared-memory
+views (zero-copy for read-only fields, private copies otherwise),
+JSON scalars, and locally rebuilt fields — and runs each request of
+the batch through the kernel, returning digests, wall/CPU timings,
+and optionally the flattened result values via the response slab.
+``busy_cpu_s`` is measured with :func:`time.process_time`, so the
+capacity accounting in ``benchmarks/bench_serving.py`` stays honest
+on hosts with fewer cores than workers.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback
+
+
+def _apply_config_env(config: dict) -> None:
+    # Before repro imports: the runtime snapshots several knobs at
+    # module import.  Workers never re-export metrics/trace servers.
+    for noisy in ("OMP4PY_METRICS_PORT", "OMP4PY_TRACE",
+                  "OMP4PY_PROFILE", "OMP4PY_WATCHDOG",
+                  "OMP4PY_FLIGHT"):
+        os.environ.pop(noisy, None)
+    for key, value in (config.get("env") or {}).items():
+        os.environ[str(key)] = str(value)
+
+
+def _runtimes():
+    from repro.cruntime import cruntime
+    from repro.runtime import pure_runtime
+    return (pure_runtime, cruntime)
+
+
+def _warm(config: dict) -> None:
+    """Populate the hot-team pool and transform the served kernels.
+
+    A tiny ``pi`` run forks one real region at the largest tenant
+    budget, so the hot-team pool already holds parked workers when the
+    first request lands (respawned workers come back warm the same
+    way); the other served apps are transformed ahead of time.
+    """
+    from repro.apps import get_app, list_apps
+    from repro.modes import Mode
+    warm_threads = max(1, int(config.get("warm_threads", 2)))
+    get_app("pi").variant(Mode.PURE)(threads=warm_threads, n=2000)
+    for app in config.get("warm_apps") or []:
+        if app in list_apps() and app != "pi":
+            try:
+                get_app(app).variant(Mode.PURE)
+            except Exception:  # noqa: BLE001 - warmup is best-effort
+                pass
+
+
+class _JobRunner:
+    """Per-process execution state: attachments, caches, slab."""
+
+    def __init__(self, config: dict):
+        from repro.serve.shm import ArrayHandle, AttachedArrays
+        self.attached = AttachedArrays()
+        self.slab = None
+        self.slab_floats = 0
+        slab_doc = config.get("slab")
+        if slab_doc:
+            handle = ArrayHandle.from_wire(slab_doc)
+            self.slab = self.attached.get(handle)
+            self.slab_floats = int(handle.shape[0])
+        #: (app, profile, overrides_key) -> locally rebuilt inputs.
+        self.rebuilt: dict[tuple, dict] = {}
+        self.last_app: str | None = None
+
+    def _rebuild_fields(self, job: dict, fields: list) -> dict:
+        from repro.serve.catalog import build_inputs
+        from repro.serve.protocol import overrides_key
+        key = (job["app"], job["profile"],
+               overrides_key(job.get("overrides") or {}))
+        inputs = self.rebuilt.get(key)
+        if inputs is None:
+            inputs = build_inputs(job["app"], job["profile"],
+                                  job.get("overrides") or {})
+            if len(self.rebuilt) >= 8:
+                self.rebuilt.pop(next(iter(self.rebuilt)))
+            self.rebuilt[key] = inputs
+        return {field: inputs[field] for field in fields}
+
+    def _materialize(self, job: dict) -> dict:
+        """Kernel kwargs for one request (fresh copies per call)."""
+        from repro.serve.shm import ArrayHandle
+        kwargs = dict(job.get("scalars") or {})
+        for field, doc in (job.get("arrays") or {}).items():
+            kwargs[field] = self.attached.materialize(
+                ArrayHandle.from_wire(doc))
+        rebuild = job.get("rebuild") or []
+        if rebuild:
+            kwargs.update(self._rebuild_fields(job, rebuild))
+        return kwargs
+
+    def _store_values(self, result) -> dict | None:
+        """Flatten a numeric result into the response slab."""
+        if self.slab is None:
+            return None
+        import numpy as np
+        try:
+            flat = np.asarray(result, dtype=np.float64).ravel()
+        except (ValueError, TypeError):
+            return None
+        if flat.size > self.slab_floats:
+            return None
+        self.slab[:flat.size] = flat
+        shape = getattr(np.asarray(result), "shape", (flat.size,))
+        return {"n": int(flat.size), "shape": list(shape)}
+
+    def run(self, job: dict) -> dict:
+        from repro.serve.catalog import execute
+        from repro.serve.protocol import result_digest
+        places = job.get("places")
+        proc_bind = job.get("proc_bind", "close")
+        for runtime in _runtimes():
+            runtime.set_affinity(places, proc_bind)
+        self.last_app = job["app"]
+        results = []
+        for request in job["requests"]:
+            record = {"id": request["id"], "ok": False,
+                      "digest": None, "error": None, "slab": None,
+                      "wall_s": None, "busy_cpu_s": None}
+            try:
+                kwargs = self._materialize(job)
+                begin_wall = time.perf_counter()
+                begin_cpu = time.process_time()
+                result = execute(job["app"], job["mode"],
+                                 job["threads"], job.get("nodes", 1),
+                                 kwargs)
+                record["busy_cpu_s"] = time.process_time() - begin_cpu
+                record["wall_s"] = time.perf_counter() - begin_wall
+                record["digest"] = result_digest(result)
+                if request.get("return_values"):
+                    record["slab"] = self._store_values(result)
+                record["ok"] = True
+            except Exception as error:  # noqa: BLE001 - reported
+                tail = traceback.format_exc(limit=4)
+                record["error"] = (f"{type(error).__name__}: {error}\n"
+                                   f"{tail}")[-2000:]
+            results.append(record)
+        return {"op": "result", "job_id": job["job_id"],
+                "worker_id": job.get("worker_id"),
+                "pid": os.getpid(), "results": results}
+
+
+def _state_payload(runner: _JobRunner) -> dict:
+    from repro.runtime import pure_runtime
+    pool = pure_runtime._pool
+    return {"pid": os.getpid(),
+            "backend": pure_runtime.backend.value,
+            "pool": pool.snapshot() if pool is not None else None,
+            "last_app": runner.last_app}
+
+
+def worker_entry(conn, config: dict) -> None:
+    """Process target: serve jobs from ``conn`` until shutdown."""
+    _apply_config_env(config)
+    if hasattr(signal, "SIGINT"):
+        # The server coordinates shutdown over the pipe; a terminal
+        # Ctrl-C must not take the fleet down mid-job.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    from repro.diagnostics import auto as diagnostics_auto
+    interval = config.get("watchdog_interval")
+    if interval:
+        for runtime in _runtimes():
+            diagnostics_auto.arm(
+                runtime, watchdog_interval=float(interval),
+                report_path=config.get("report_path"), flight=False)
+    runner = _JobRunner(config)
+    try:
+        _warm(config)
+    except Exception:  # noqa: BLE001 - a cold worker still serves
+        pass
+    try:
+        conn.send({"op": "ready", "worker_id": config.get("worker_id"),
+                   **_state_payload(runner)})
+    except (BrokenPipeError, OSError):
+        # The supervisor is gone (shutdown raced the spawn): exit
+        # quietly instead of tracebacking into the server's stderr.
+        runner.attached.close_all()
+        return
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = message.get("op") if isinstance(message, dict) else None
+            if op == "job":
+                message["worker_id"] = config.get("worker_id")
+                reply = runner.run(message)
+                reply["state"] = _state_payload(runner)
+                conn.send(reply)
+            elif op == "ping":
+                conn.send({"op": "pong",
+                           "worker_id": config.get("worker_id"),
+                           **_state_payload(runner)})
+            elif op == "shutdown":
+                conn.send({"op": "bye",
+                           "worker_id": config.get("worker_id")})
+                break
+    except (BrokenPipeError, OSError):
+        pass
+    finally:
+        runner.attached.close_all()

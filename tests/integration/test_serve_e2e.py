@@ -1,0 +1,104 @@
+"""Black-box serving test: the real CLI process over real HTTP.
+
+Launches ``python -m repro.serve`` as a subprocess (ephemeral port via
+``--port-file``), drives a mixed qsort+jacobi load, kills one worker
+pid taken from ``/state`` mid-load, and asserts the fleet recovers
+with zero lost requests and zero leaked shared-memory segments after
+SIGTERM — the end-to-end shape of the CI ``serve-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+MIX = (
+    ("qsort", {"n": 1500}),
+    ("jacobi", {"n": 24, "iterations": 30}),
+)
+
+
+def _post_run(url, app, overrides, timeout=60.0):
+    body = json.dumps({"app": app, "threads": 1,
+                       "overrides": overrides}).encode()
+    request = urllib.request.Request(
+        url + "/v1/run", data=body,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as resp:
+        return json.loads(resp.read().decode())
+
+
+def _get_json(url, path, timeout=10.0):
+    with urllib.request.urlopen(url + path, timeout=timeout) as resp:
+        return json.loads(resp.read().decode())
+
+
+@pytest.mark.slow
+def test_cli_serves_survives_worker_kill_and_exits_clean(tmp_path):
+    port_file = tmp_path / "port"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--workers", "2", "--queue", "8",
+         "--port-file", str(port_file)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    try:
+        deadline = time.monotonic() + 90
+        while time.monotonic() < deadline and not port_file.exists():
+            assert process.poll() is None, process.stdout.read()
+            time.sleep(0.2)
+        assert port_file.exists(), "server never wrote its port"
+        url = f"http://127.0.0.1:{port_file.read_text().strip()}"
+
+        deadline = time.monotonic() + 90
+        while time.monotonic() < deadline:
+            state = _get_json(url, "/state")
+            if all(w["state"] != "starting" for w in state["workers"]):
+                break
+            time.sleep(0.2)
+
+        for index in range(6):
+            app, overrides = MIX[index % len(MIX)]
+            response = _post_run(url, app, overrides)
+            assert response["ok"] and response["verified"], response
+
+        state = _get_json(url, "/state")
+        victim_pid = next(w["pid"] for w in state["workers"]
+                          if w["pid"])
+        os.kill(victim_pid, signal.SIGKILL)
+
+        # The supervisor respawns; the fleet keeps serving.
+        for index in range(6):
+            app, overrides = MIX[index % len(MIX)]
+            response = _post_run(url, app, overrides)
+            assert response["ok"] and response["verified"], response
+        state = _get_json(url, "/state")
+        assert state["restarts_total"] >= 1
+
+        doctor = subprocess.run(
+            [sys.executable, "-m", "repro.doctor", "serve", url],
+            env=env, capture_output=True, text=True, timeout=30)
+        assert doctor.returncode == 0, doctor.stderr
+        assert "workers (restarts_total=" in doctor.stdout
+
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=30) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+    from repro.serve.shm import leaked_segments
+    assert leaked_segments() == []

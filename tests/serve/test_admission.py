@@ -1,0 +1,89 @@
+"""Admission-control edge cases: shed rule, splitting, requeue order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import AdmissionQueue, QueueFull
+from repro.serve.protocol import ServeRequest
+
+
+def _request(app="pi", tenant="default", **kwargs):
+    return ServeRequest(app=app, tenant=tenant, **kwargs)
+
+
+def test_zero_capacity_is_hand_off_only():
+    queue = AdmissionQueue(0)
+    # Empty queue + an idle worker: admit (pure hand-off).
+    queue.offer(_request(), idle_workers=1)
+    assert queue.depth() == 1
+    # One request already waiting: capacity 0 sheds, idle or not.
+    with pytest.raises(QueueFull):
+        queue.offer(_request(), idle_workers=4)
+    # Empty queue but no idle worker: shed too.
+    queue.drain()
+    with pytest.raises(QueueFull) as excinfo:
+        queue.offer(_request(), idle_workers=0)
+    assert excinfo.value.retry_after > 0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        AdmissionQueue(-1)
+
+
+def test_retry_after_scales_with_depth():
+    queue = AdmissionQueue(2)
+    queue.mean_service_s = 1.0
+    queue.offer(_request(), idle_workers=0)
+    queue.offer(_request(), idle_workers=0)
+    with pytest.raises(QueueFull) as excinfo:
+        queue.offer(_request(), idle_workers=0)
+    assert excinfo.value.depth == 2
+    assert excinfo.value.retry_after == pytest.approx(3.0)
+
+
+def test_oversized_burst_splits_at_max_batch():
+    queue = AdmissionQueue(16)
+    burst = [_request() for _ in range(6)]
+    for request in burst:
+        queue.offer(request, idle_workers=0)
+    batch = queue.next_batch(max_batch=4, can_dispatch=lambda r: True)
+    assert [r.id for r in batch] == [r.id for r in burst[:4]]
+    rest = queue.next_batch(max_batch=4, can_dispatch=lambda r: True)
+    assert [r.id for r in rest] == [r.id for r in burst[4:]]
+    assert queue.depth() == 0
+
+
+def test_batch_coalesces_only_same_group():
+    queue = AdmissionQueue(16)
+    a1 = _request(app="pi")
+    b = _request(app="qsort")
+    a2 = _request(app="pi")
+    for request in (a1, b, a2):
+        queue.offer(request, idle_workers=0)
+    batch = queue.next_batch(max_batch=4, can_dispatch=lambda r: True)
+    assert [r.id for r in batch] == [a1.id, a2.id]
+    assert [r.id for r in queue.drain()] == [b.id]
+
+
+def test_throttled_head_does_not_block_other_tenants():
+    queue = AdmissionQueue(16)
+    blocked = _request(tenant="over-budget")
+    runnable = _request(tenant="default")
+    queue.offer(blocked, idle_workers=0)
+    queue.offer(runnable, idle_workers=0)
+    batch = queue.next_batch(
+        max_batch=4, can_dispatch=lambda r: r.tenant == "default")
+    assert [r.id for r in batch] == [runnable.id]
+    assert [r.id for r in queue.drain()] == [blocked.id]
+
+
+def test_requeue_front_preserves_victim_position():
+    queue = AdmissionQueue(16)
+    victim = _request(app="pi")
+    later = _request(app="qsort")
+    queue.offer(later, idle_workers=0)
+    queue.requeue_front([victim])
+    drained = queue.drain()
+    assert [r.id for r in drained] == [victim.id, later.id]

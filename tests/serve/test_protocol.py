@@ -1,0 +1,91 @@
+"""Digest verification and front-door request parsing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OmpError
+from repro.serve.protocol import (
+    ServeRequest,
+    digests_match,
+    parse_request,
+    result_digest,
+)
+
+APPS = ("pi", "qsort", "jacobi")
+
+
+def test_digest_scalar_and_array_agree_with_list():
+    assert result_digest([1.0, 2.0, 3.0]) == \
+        result_digest(np.array([1.0, 2.0, 3.0]))
+    digest = result_digest(3.25)
+    assert digest["n"] == 1
+    assert digest["sum"] == pytest.approx(3.25)
+
+
+def test_digest_tolerates_reduction_reassociation():
+    base = result_digest(np.full(1000, 1.0 / 3.0))
+    wiggle = dict(base, sum=base["sum"] * (1 + 5e-4))
+    assert digests_match(base, wiggle)
+
+
+def test_digest_rejects_real_mismatches():
+    base = result_digest(np.arange(100.0))
+    assert not digests_match(base, dict(base, n=99))
+    assert not digests_match(base, dict(base, sum=base["sum"] * 1.5))
+    assert not digests_match(base, dict(base, meta="000000000000"))
+    assert not digests_match(base, None)
+
+
+def test_digest_hashes_non_numeric_structure():
+    a = result_digest({"words": ["alpha", "beta"], "count": 2})
+    b = result_digest({"words": ["alpha", "gamma"], "count": 2})
+    assert a["meta"] != b["meta"]
+
+
+def test_parse_request_defaults():
+    request = parse_request({"app": "pi"}, known_apps=APPS,
+                            default_tenant="default", max_threads=8)
+    assert request.tenant == "default"
+    assert request.mode == "pure"
+    assert request.threads == 1
+    assert not request.return_values
+
+
+@pytest.mark.parametrize("doc", [
+    [],
+    {"app": "nope"},
+    {"app": "pi", "threads": 0},
+    {"app": "pi", "threads": "two"},
+    {"app": "pi", "threads": 99},
+    {"app": "pi", "nodes": 0},
+    {"app": "pi", "mode": "hybridd"},
+    {"app": "pi", "profile": 7},
+    {"app": "pi", "overrides": [1]},
+    {"app": "pi", "overrides": {"n": [1, 2]}},
+    {"app": "pi", "tenant": ""},
+])
+def test_parse_request_rejects_malformed(doc):
+    with pytest.raises(OmpError):
+        parse_request(doc, known_apps=APPS,
+                      default_tenant="default", max_threads=8)
+
+
+def test_group_key_coalesces_identical_requests_only():
+    a = ServeRequest(app="pi", tenant="t", overrides={"n": 10})
+    b = ServeRequest(app="pi", tenant="t", overrides={"n": 10})
+    c = ServeRequest(app="pi", tenant="t", overrides={"n": 20})
+    d = ServeRequest(app="pi", tenant="u", overrides={"n": 10})
+    assert a.group_key == b.group_key
+    assert a.group_key != c.group_key
+    assert a.group_key != d.group_key
+    assert a.id != b.id
+
+
+def test_complete_sets_event():
+    request = ServeRequest(app="pi", tenant="t")
+    assert not request.done.is_set()
+    request.complete({"ok": True})
+    assert request.done.is_set()
+    assert request.response == {"ok": True}

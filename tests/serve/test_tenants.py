@@ -1,0 +1,114 @@
+"""Tenant registry: budgets, the thread ledger, place partitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OmpError
+from repro.serve.tenants import (
+    DuplicateTenantError,
+    TenantDirectory,
+    partition_places,
+)
+
+CPUS8 = tuple(range(8))
+
+
+def test_partition_weights_by_budget():
+    parts = partition_places({"a": 3, "b": 1}, CPUS8)
+    assert parts["a"] == tuple((cpu,) for cpu in range(6))
+    assert parts["b"] == tuple((cpu,) for cpu in (6, 7))
+
+
+def test_partition_one_cpu_floor():
+    parts = partition_places({"a": 100, "b": 1}, (0, 1, 2, 3))
+    assert parts["a"] == ((0,), (1,), (2,))
+    assert parts["b"] == ((3,),)
+
+
+def test_partition_degrades_when_cpus_scarce():
+    parts = partition_places({"a": 2, "b": 2}, (0,))
+    assert parts["a"] == parts["b"] == ((0,),)
+
+
+def test_partition_covers_every_cpu_exactly_once():
+    parts = partition_places({"a": 2, "b": 5, "c": 1}, CPUS8)
+    flat = [cpu for places in parts.values()
+            for (cpu,) in places]
+    assert sorted(flat) == list(CPUS8)
+
+
+def test_duplicate_tenant_raises():
+    directory = TenantDirectory(cpus=CPUS8)
+    directory.register("team-a", 4)
+    with pytest.raises(DuplicateTenantError):
+        directory.register("team-a", 2)
+
+
+def test_invalid_budgets_rejected():
+    directory = TenantDirectory(cpus=CPUS8)
+    with pytest.raises(OmpError):
+        directory.register("", 4)
+    with pytest.raises(OmpError):
+        directory.register("team-a", 0)
+
+
+def test_registration_repartitions_existing_tenants():
+    directory = TenantDirectory(cpus=CPUS8)
+    directory.register("a", 4)
+    assert len(directory.get("a").places) == 8
+    directory.register("b", 4)
+    assert len(directory.get("a").places) == 4
+    assert len(directory.get("b").places) == 4
+
+
+def test_clamp_threads():
+    directory = TenantDirectory(cpus=CPUS8)
+    directory.register("a", 4)
+    assert directory.clamp_threads("a", 16) == 4
+    assert directory.clamp_threads("a", 2) == 2
+    assert directory.clamp_threads("a", 0) == 1
+    with pytest.raises(OmpError):
+        directory.clamp_threads("ghost", 1)
+
+
+def test_ledger_charges_and_releases():
+    directory = TenantDirectory(cpus=CPUS8)
+    directory.register("a", 4)
+    assert directory.try_acquire("a", 3)
+    assert directory.inflight("a") == 3
+    assert directory.can_acquire("a", 1)
+    assert not directory.can_acquire("a", 2)
+    assert not directory.try_acquire("a", 2)
+    assert directory.throttles["a"] == 1
+    directory.release("a", 3)
+    assert directory.inflight("a") == 0
+    # Release never goes negative even if crash paths double-release.
+    directory.release("a", 99)
+    assert directory.inflight("a") == 0
+
+
+def test_budget_one_tenant_serializes():
+    directory = TenantDirectory(cpus=CPUS8)
+    directory.register("solo", 1)
+    assert directory.try_acquire("solo", 1)
+    assert not directory.try_acquire("solo", 1)
+    directory.release("solo", 1)
+    assert directory.try_acquire("solo", 1)
+
+
+def test_unknown_tenant_never_acquires():
+    directory = TenantDirectory(cpus=CPUS8)
+    assert not directory.can_acquire("ghost", 1)
+    assert not directory.try_acquire("ghost", 1)
+
+
+def test_snapshot_shape():
+    directory = TenantDirectory(cpus=CPUS8)
+    directory.register("a", 2)
+    directory.try_acquire("a", 2)
+    (entry,) = directory.snapshot()
+    assert entry["name"] == "a"
+    assert entry["max_threads"] == 2
+    assert entry["inflight_threads"] == 2
+    assert entry["places"]
